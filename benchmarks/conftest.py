@@ -1,0 +1,54 @@
+"""Shared configuration for the paper-reproduction benchmarks.
+
+Every ``bench_*.py`` regenerates one table or figure of the paper.  The
+rendered report is printed (visible with ``pytest -s``) and also written
+to ``benchmarks/results/<artifact>.txt`` so a plain
+``pytest benchmarks/ --benchmark-only`` run leaves the full evaluation
+on disk.
+
+Scale knobs: the defaults reproduce the paper's topology sizes with
+reduced round counts so the whole suite completes in minutes.  Set
+``REPRO_BENCH_SCALE=paper`` for the full 100-events-per-replica runs
+and the 50-node / 10 000-user Retwis deployment.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: "quick" (default) or "paper".
+SCALE = os.environ.get("REPRO_BENCH_SCALE", "quick")
+
+#: Rounds per micro-benchmark at each scale.
+MICRO_ROUNDS = {"quick": 40, "paper": 100}[SCALE]
+#: Rounds for the heavyweight GMap grid (1000-key maps).
+GMAP_ROUNDS = {"quick": 25, "paper": 100}[SCALE]
+#: Cluster sizes for the Figure 9 metadata sweep.
+FIGURE9_SIZES = {"quick": (8, 16, 32), "paper": (8, 16, 32, 64)}[SCALE]
+FIGURE9_ROUNDS = {"quick": 25, "paper": 100}[SCALE]
+
+
+def retwis_config():
+    from repro.experiments.retwis_sweep import RetwisConfig
+
+    if SCALE == "paper":
+        return RetwisConfig.paper_scale()
+    return RetwisConfig(nodes=20, degree=4, users=500, rounds=30, ops_per_node=8)
+
+
+@pytest.fixture(scope="session")
+def report_sink():
+    """Write a rendered artifact report to the results directory."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def write(artifact: str, text: str) -> None:
+        print()
+        print(text)
+        (RESULTS_DIR / f"{artifact}.txt").write_text(text + "\n", encoding="utf-8")
+
+    return write

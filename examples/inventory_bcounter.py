@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""Warehouse stock with a bounded counter: never oversell, never block.
+
+Three regional fulfilment sites sell from one shared stock figure.  A
+plain PNCounter would let two sites concurrently sell the last unit;
+serializing every sale through one leader would forfeit availability.
+The :class:`~repro.crdt.BCounter` threads the needle: each site may
+only decrement against *rights* it holds locally, and rights move
+between sites asynchronously as demand shifts — the numeric invariant
+``stock ≥ 0`` holds globally with zero coordination on the sale path.
+
+Run with::
+
+    python examples/inventory_bcounter.py
+"""
+
+from repro import BCounter
+from repro.crdt import InsufficientRights
+
+
+def report(sites):
+    view = sites["eu"]
+    rights = ", ".join(f"{name}={view.rights_of(name)}" for name in sorted(sites))
+    print(f"  stock={view.value:3d}   rights: {rights}")
+
+
+def gossip(sites) -> None:
+    for left in sites.values():
+        for right in sites.values():
+            if left is not right:
+                left.merge(right)
+
+
+def main() -> None:
+    sites = {name: BCounter(name) for name in ("eu", "us", "jp")}
+    eu, us, jp = sites["eu"], sites["us"], sites["jp"]
+
+    print("EU restocks 100 units (minting 100 decrement rights):")
+    eu.increment(100)
+    gossip(sites)
+    report(sites)
+
+    print("\nEU provisions the other regions ahead of demand:")
+    eu.transfer(30, to="us")
+    eu.transfer(20, to="jp")
+    gossip(sites)
+    report(sites)
+
+    print("\nRegions sell concurrently, no coordination:")
+    us.decrement(25)
+    jp.decrement(18)
+    eu.decrement(40)
+    gossip(sites)
+    report(sites)
+
+    print("\nJP demand spikes beyond its remaining rights:")
+    try:
+        jp.decrement(5)
+    except InsufficientRights as refusal:
+        print(f"  sale path refuses locally: {refusal}")
+
+    print("  …US wires over spare rights:")
+    us.transfer(5, to="jp")
+    gossip(sites)
+    jp.decrement(5)
+    gossip(sites)
+    report(sites)
+
+    assert eu.value >= 0
+    assert eu.state == us.state == jp.state
+    total_rights = sum(eu.rights_of(name) for name in sites)
+    print(f"\ninvariant intact: value {eu.value} == total rights {total_rights} ≥ 0")
+
+
+if __name__ == "__main__":
+    main()

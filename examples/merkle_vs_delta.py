@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""Hash-based anti-entropy vs optimal deltas (the paper's Section VI).
+
+The paper's related-work section argues that hash-based reconciliation
+(Merkle trees, à la Demers et al. / Byers et al.) pays two costs
+delta-based synchronization avoids: round trips to *localize* the
+divergence, and hashing work proportional to the whole state on every
+exchange.  This example makes both costs visible on a two-replica link
+where one new element must be reconciled into a large shared state.
+
+Run with::
+
+    python examples/merkle_vs_delta.py
+"""
+
+from repro import Cluster, ClusterConfig, SetLattice
+from repro.sim.topology import line
+from repro.sync import delta_bp_rr
+from repro.sync.merkle import MerkleSync
+
+
+def unique_add(node, tag):
+    element = f"n{node}-{tag}"
+
+    def add(state, e=element):
+        if e in state:
+            return state.bottom_like()
+        return SetLattice((e,))
+
+    return add
+
+
+def reconcile_one_element(factory, label):
+    cluster = Cluster(ClusterConfig(topology=line(2)), factory, SetLattice())
+
+    # A large, fully synchronized shared state…
+    cluster.run_round(lambda node: tuple(unique_add(node, f"seed{i}") for i in range(200)))
+    cluster.drain()
+    before = len(cluster.metrics.messages)
+
+    # …then a single new element at node 0.
+    cluster.run_round(lambda node: (unique_add(node, "fresh"),) if node == 0 else ())
+    cluster.drain()
+
+    exchange = cluster.metrics.messages[before:]
+    messages = len(exchange)
+    payload = sum(m.payload_units for m in exchange)
+    metadata = sum(m.metadata_units for m in exchange)
+    print(f"{label:12s} messages={messages:3d}  payload units={payload:3d}  "
+          f"digest/metadata entries={metadata:4d}")
+    return cluster
+
+
+def main() -> None:
+    print("Reconciling ONE new element into a 400-element shared state:\n")
+    delta_cluster = reconcile_one_element(delta_bp_rr, "delta BP+RR")
+    merkle_cluster = reconcile_one_element(MerkleSync, "merkle")
+
+    assert delta_cluster.nodes[1].state == merkle_cluster.nodes[1].state
+
+    hashing = sum(node.hash_operations for node in merkle_cluster.nodes)
+    print(f"\nmerkle hashing work this run: {hashing} leaf hashes "
+          "(recomputed over the full state every tick)")
+    print("delta-based hashing work:     0")
+    print("\nBoth converge to the same state; the delta ships the one new")
+    print("element outright, while the hash-based protocol spends digest")
+    print("round-trips finding it — Section VI's critique, quantified.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""Retwis under contention: classic delta-based vs BP+RR.
+
+Deploys the paper's Twitter-clone workload (Section V-C, Table II) on a
+simulated partial-mesh cluster and compares classic delta-based
+synchronization against BP+RR at low and high contention.  Also shows
+the application actually working: a user's timeline read from one
+replica reflects tweets posted at others.
+
+Run with::
+
+    python examples/retwis_demo.py
+"""
+
+from repro.sim.network import Cluster, ClusterConfig
+from repro.sim.runner import run_suite
+from repro.sim.topology import partial_mesh
+from repro.sync import keyed_bp_rr, keyed_classic
+from repro.workloads import RetwisWorkload
+from repro.workloads.retwis import RetwisWorkload as Retwis
+
+NODES = 12
+USERS = 300
+ROUNDS = 20
+OPS_PER_NODE = 6
+
+
+def compare_contention() -> None:
+    print("=== classic vs BP+RR across contention (Figure 11 in miniature) ===")
+    topology = partial_mesh(NODES, 4)
+    for zipf in (0.5, 1.5):
+        results = run_suite(
+            {"classic": keyed_classic, "bp+rr": keyed_bp_rr},
+            lambda z=zipf: RetwisWorkload(
+                NODES, users=USERS, rounds=ROUNDS, ops_per_node=OPS_PER_NODE,
+                zipf_coefficient=z, seed=11,
+            ),
+            topology,
+        )
+        classic_mb = results["classic"].transmission_bytes() / 2**20
+        best_mb = results["bp+rr"].transmission_bytes() / 2**20
+        label = "low" if zipf == 0.5 else "high"
+        print(
+            f"zipf={zipf} ({label} contention): classic shipped {classic_mb:7.2f} MiB, "
+            f"bp+rr {best_mb:6.2f} MiB  →  {classic_mb / best_mb:5.2f}x"
+        )
+    print()
+
+
+def application_view() -> None:
+    print("=== the application actually works across replicas ===")
+    topology = partial_mesh(NODES, 4)
+    workload = RetwisWorkload(
+        NODES, users=USERS, rounds=ROUNDS, ops_per_node=OPS_PER_NODE,
+        zipf_coefficient=1.0, seed=11,
+    )
+    cluster = Cluster(ClusterConfig(topology), keyed_bp_rr, workload.bottom())
+    cluster.run_rounds(workload.rounds, workload.updates_for)
+    cluster.drain()
+    assert cluster.converged()
+
+    state = cluster.nodes[0].state  # read from replica 0
+    # User 0 is the hottest Zipf rank: most followed, most tweets.
+    hottest = 0
+    followers = Retwis.read_followers(state, hottest)
+    wall = Retwis.read_wall(state, hottest)
+    print(f"user {hottest}: {len(followers)} followers, {len(wall)} tweets on wall")
+
+    # A follower's timeline carries the celebrity's fanned-out tweets.
+    fan = int(followers[0][1:])
+    timeline = Retwis.read_timeline(state, fan, limit=5)
+    print(f"follower {fan}'s timeline (5 most recent): {[t[:8] + '…' for t in timeline]}")
+    print(f"replicas converged: {cluster.converged()}")
+
+
+if __name__ == "__main__":
+    compare_contention()
+    application_view()

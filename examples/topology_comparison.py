@@ -1,0 +1,56 @@
+#!/usr/bin/env python
+"""Where each optimization matters: BP on trees, RR on meshes.
+
+Replays the grow-only-set micro-benchmark (Table I) on the two Figure 6
+topologies with all four Algorithm 1 configurations plus state-based
+synchronization, and prints the transmission ratios — a miniature of
+the paper's Figure 7, runnable in seconds.
+
+Run with::
+
+    python examples/topology_comparison.py
+"""
+
+from repro.sim.runner import ratio_table, run_suite
+from repro.sim.topology import partial_mesh, tree
+from repro.sync import StateBased, classic, delta_bp, delta_bp_rr, delta_rr
+from repro.workloads import GSetWorkload
+
+NODES = 15
+ROUNDS = 30
+
+ALGORITHMS = {
+    "state-based": StateBased,
+    "delta-based (classic)": classic,
+    "delta-based + BP": delta_bp,
+    "delta-based + RR": delta_rr,
+    "delta-based + BP+RR": delta_bp_rr,
+}
+
+
+def main() -> None:
+    for name, topology in (
+        ("tree (acyclic — BP suffices)", tree(NODES, 2)),
+        ("partial mesh (cycles — RR is crucial)", partial_mesh(NODES, 4)),
+    ):
+        results = run_suite(
+            ALGORITHMS, lambda: GSetWorkload(NODES, ROUNDS), topology
+        )
+        ratios = ratio_table(
+            results, "delta-based + BP+RR", lambda r: r.transmission_units()
+        )
+        print(f"=== {name} ===")
+        for label in ALGORITHMS:
+            units = results[label].transmission_units()
+            print(f"  {label:24s} {units:>10,} units   {ratios[label]:7.2f}x")
+        print()
+
+    print("Reading the numbers:")
+    print(" * classic ≈ state-based on the mesh — the Figure 1 anomaly;")
+    print(" * on the tree, BP alone already matches BP+RR;")
+    print(" * on the mesh, BP barely helps: the same δ-groups arrive via")
+    print("   multiple paths, and only RR's ∆-extraction removes them.")
+
+
+if __name__ == "__main__":
+    main()

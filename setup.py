@@ -1,0 +1,11 @@
+"""Setuptools shim enabling legacy editable installs.
+
+The runtime environment ships setuptools without the ``wheel`` package
+and has no network access, so PEP 660 editable builds are unavailable;
+``pip install -e . --no-build-isolation`` falls back to this shim.
+All metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

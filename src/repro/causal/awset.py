@@ -1,0 +1,121 @@
+"""Add-wins observed-remove set: ``DotMap⟨E, DotSet⟩``.
+
+The workhorse causal CRDT: a set supporting both additions and
+removals, where a removal only affects the additions it has *observed*
+— a concurrent add survives (add wins).  Each element maps to the set
+of dots of its surviving add events; removing an element drops its dots
+from the store while the causal context keeps remembering them.
+
+Every mutator returns the optimal delta of Section III-B: an add ships
+one fresh dot (plus the covered dots as context); a remove ships no
+payload at all, only the removed dots in the context — which is what
+makes delta-based synchronization of OR-sets so much cheaper than
+shipping tombstoned full states.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Hashable, Iterator, Set
+
+from repro.causal.causal import Causal
+from repro.causal.dots import CausalContext
+from repro.causal.stores import DotMap, DotSet
+from repro.crdt.base import Crdt
+
+
+class AWSet(Crdt):
+    """An add-wins set with optimal add/remove deltas.
+
+    >>> a, b = AWSet("A"), AWSet("B")
+    >>> _ = a.add("milk")
+    >>> b.merge(a)
+    >>> _ = b.remove("milk")
+    >>> _ = a.add("milk")                  # concurrent re-add
+    >>> a.merge(b); b.merge(a)
+    >>> a.contains("milk") and b.contains("milk")
+    True
+    """
+
+    __slots__ = ()
+
+    def __init__(self, replica: Hashable, state: Causal | None = None) -> None:
+        super().__init__(replica, state if state is not None else Causal.map_bottom())
+
+    @staticmethod
+    def bottom() -> Causal:
+        """The empty set all replicas start from."""
+        return Causal.map_bottom()
+
+    # ------------------------------------------------------------------
+    # Mutators.
+    # ------------------------------------------------------------------
+
+    def add(self, element: Hashable) -> Causal:
+        """Add ``element``; returns the optimal delta."""
+        delta = self.add_delta(self.state, element)
+        return self.apply_delta(delta)
+
+    def remove(self, element: Hashable) -> Causal:
+        """Remove the observed instances of ``element``; optimal delta."""
+        delta = self.remove_delta(self.state, element)
+        return self.apply_delta(delta)
+
+    def clear(self) -> Causal:
+        """Remove every observed element; returns the optimal delta."""
+        delta = self.clear_delta(self.state)
+        return self.apply_delta(delta)
+
+    def add_delta(self, state: Causal, element: Hashable) -> Causal:
+        """δ-mutator: one fresh dot for ``element``, covering its old dots.
+
+        Covering the element's observed dots lets the join retire them,
+        so long-lived elements do not accumulate one dot per re-add.
+        """
+        dot = state.context.next_dot(self.replica)
+        existing = state.store.get(element)
+        covered: Set = set(existing.dots()) if existing is not None else set()
+        covered.add(dot)
+        return Causal(
+            DotMap({element: DotSet((dot,))}), CausalContext.from_dots(covered)
+        )
+
+    def remove_delta(self, state: Causal, element: Hashable) -> Causal:
+        """δ-mutator: no payload, just the element's observed dots.
+
+        Removing an element that is not present is a no-op (``⊥``),
+        mirroring the paper's optimal GSet ``addδ`` that returns bottom
+        for a duplicate add.
+        """
+        existing = state.store.get(element)
+        if existing is None:
+            return state.bottom_like()
+        return Causal(DotMap(), CausalContext.from_dots(existing.dots()))
+
+    def clear_delta(self, state: Causal) -> Causal:
+        """δ-mutator: cover every live dot, shipping no payload."""
+        dots = state.store.dots()
+        if not dots:
+            return state.bottom_like()
+        return Causal(DotMap(), CausalContext.from_dots(dots))
+
+    # ------------------------------------------------------------------
+    # Queries.
+    # ------------------------------------------------------------------
+
+    def contains(self, element: Hashable) -> bool:
+        """True while ``element`` holds at least one surviving add dot."""
+        return element in self.state.store
+
+    @property
+    def value(self) -> FrozenSet[Hashable]:
+        """The current set of elements."""
+        return frozenset(self.state.store.keys())
+
+    def __contains__(self, element: Hashable) -> bool:
+        return self.contains(element)
+
+    def __iter__(self) -> Iterator[Hashable]:
+        return iter(self.state.store.keys())
+
+    def __len__(self) -> int:
+        return len(self.state.store)

@@ -1,0 +1,109 @@
+"""Causal (resettable) counter: ``DotFun⟨MaxInt⟩``.
+
+A counter supporting increments *and* a reset that zeroes the observed
+count while letting concurrent increments survive — the semantics
+behind shopping-cart quantities and resettable metrics.  Each replica
+keeps its running tally under a single live dot; an increment replaces
+the replica's own dot with a fresh one carrying the larger tally, and a
+reset covers every observed dot.
+
+The increment delta is a single dot-value pair — constant size, like
+the paper's optimal GCounter ``incδ`` — and the reset delta carries no
+payload at all, only the covered dots in its causal context.
+
+One caveat inherited from the classic construction (the *embedded
+counter* anomaly, Baquero et al., PaPoC 2016): because an increment
+carries its replica's running tally onto the fresh dot, a reset
+concurrent with replica *i*'s increment cancels nothing of *i*'s tally
+— the observed portion rides along under the new dot.  Increments by
+replicas the reset did observe (and that stayed quiet) are zeroed as
+expected.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Optional, Set
+
+from repro.causal.causal import Causal
+from repro.causal.dots import CausalContext, Dot
+from repro.causal.stores import DotFun
+from repro.crdt.base import Crdt
+from repro.lattice.primitives import MaxInt
+
+
+class CCounter(Crdt):
+    """A resettable grow-only counter with optimal deltas.
+
+    >>> a, b, c = CCounter("A"), CCounter("B"), CCounter("C")
+    >>> _ = a.increment(3)
+    >>> b.merge(a)
+    >>> _ = b.reset()                      # observed a's 3, zeroes it
+    >>> _ = c.increment(2)                 # concurrent, unobserved
+    >>> a.merge(b); a.merge(c)
+    >>> a.value
+    2
+    """
+
+    __slots__ = ()
+
+    def __init__(self, replica: Hashable, state: Causal | None = None) -> None:
+        super().__init__(replica, state if state is not None else Causal.fun_bottom())
+
+    @staticmethod
+    def bottom() -> Causal:
+        """The zero counter."""
+        return Causal.fun_bottom()
+
+    # ------------------------------------------------------------------
+    # Mutators.
+    # ------------------------------------------------------------------
+
+    def increment(self, by: int = 1) -> Causal:
+        """Count ``by`` more; returns the optimal delta."""
+        delta = self.increment_delta(self.state, by)
+        return self.apply_delta(delta)
+
+    def reset(self) -> Causal:
+        """Zero the observed count; returns the optimal delta."""
+        delta = self.reset_delta(self.state)
+        return self.apply_delta(delta)
+
+    def increment_delta(self, state: Causal, by: int = 1) -> Causal:
+        """δ-mutator: move this replica's tally onto a fresh dot."""
+        if by <= 0:
+            raise ValueError(f"increment must be positive, got {by}")
+        own = self._own_entry(state)
+        covered: Set[Dot] = set()
+        tally = by
+        if own is not None:
+            own_dot, own_value = own
+            covered.add(own_dot)
+            tally += own_value.value
+        dot = state.context.next_dot(self.replica)
+        covered.add(dot)
+        return Causal(DotFun({dot: MaxInt(tally)}), CausalContext.from_dots(covered))
+
+    def reset_delta(self, state: Causal) -> Causal:
+        """δ-mutator: cover every observed tally dot, shipping no payload."""
+        dots = state.store.dots()
+        if not dots:
+            return state.bottom_like()
+        return Causal(DotFun(), CausalContext.from_dots(dots))
+
+    def _own_entry(self, state: Causal) -> Optional[tuple]:
+        """This replica's single live (dot, tally) entry, if any."""
+        assert isinstance(state.store, DotFun)
+        for dot, value in state.store.items():
+            if dot.replica == self.replica:
+                return dot, value
+        return None
+
+    # ------------------------------------------------------------------
+    # Queries.
+    # ------------------------------------------------------------------
+
+    @property
+    def value(self) -> int:
+        """The sum of every surviving per-replica tally."""
+        assert isinstance(self.state.store, DotFun)
+        return sum(entry.value for entry in self.state.store.values())

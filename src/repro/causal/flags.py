@@ -1,0 +1,147 @@
+"""Enable-wins and disable-wins flags over a :class:`DotSet` store.
+
+The simplest causal CRDTs: a boolean whose conflicting concurrent
+writes are resolved by policy.  The store holds the dots of the
+"winning-side" events still in force:
+
+* **EWFlag** — the store holds *enable* dots; the flag reads enabled
+  when any survive.  An enable writes a fresh dot and covers the old
+  ones; a disable covers them all.  A concurrent enable's dot is
+  unknown to the disabler's context, so it survives the join: enable
+  wins.
+* **DWFlag** — the mirror image; the store holds *disable* dots and the
+  flag reads enabled when none survive, so the flag starts enabled and
+  concurrent disable wins.
+
+Both mutators return the optimal delta: exactly one fresh dot (or
+none), plus the covered dots in the delta's causal context.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+from repro.causal.causal import Causal
+from repro.causal.dots import CausalContext
+from repro.causal.stores import DotSet
+from repro.crdt.base import Crdt
+
+
+class EWFlag(Crdt):
+    """An enable-wins boolean flag; starts disabled.
+
+    >>> a, b = EWFlag("A"), EWFlag("B")
+    >>> _ = a.enable()
+    >>> b.merge(a); _ = b.disable()
+    >>> _ = a.enable()                     # concurrent with b's disable
+    >>> a.merge(b); b.merge(a)
+    >>> a.enabled and b.enabled            # enable wins
+    True
+    """
+
+    __slots__ = ()
+
+    def __init__(self, replica: Hashable, state: Causal | None = None) -> None:
+        super().__init__(replica, state if state is not None else Causal.set_bottom())
+
+    @staticmethod
+    def bottom() -> Causal:
+        """The initial (disabled) state."""
+        return Causal.set_bottom()
+
+    # ------------------------------------------------------------------
+    # Mutators.
+    # ------------------------------------------------------------------
+
+    def enable(self) -> Causal:
+        """Set the flag; returns the optimal delta."""
+        delta = self.enable_delta(self.state)
+        return self.apply_delta(delta)
+
+    def disable(self) -> Causal:
+        """Clear the flag; returns the optimal delta."""
+        delta = self.disable_delta(self.state)
+        return self.apply_delta(delta)
+
+    def enable_delta(self, state: Causal) -> Causal:
+        """δ-mutator: one fresh dot, covering the observed enable dots."""
+        dot = state.context.next_dot(self.replica)
+        covered = set(state.store.dots())
+        covered.add(dot)
+        return Causal(DotSet((dot,)), CausalContext.from_dots(covered))
+
+    def disable_delta(self, state: Causal) -> Causal:
+        """δ-mutator: cover the observed enable dots (⊥ if already clear)."""
+        observed = state.store.dots()
+        if not observed:
+            return state.bottom_like()
+        return Causal(DotSet(), CausalContext.from_dots(observed))
+
+    # ------------------------------------------------------------------
+    # Queries.
+    # ------------------------------------------------------------------
+
+    @property
+    def enabled(self) -> bool:
+        """True while at least one enable dot survives."""
+        return not self.state.store.is_empty
+
+
+class DWFlag(Crdt):
+    """A disable-wins boolean flag; starts enabled.
+
+    >>> a, b = DWFlag("A"), DWFlag("B")
+    >>> _ = a.disable()
+    >>> b.merge(a); _ = b.enable()
+    >>> _ = a.disable()                    # concurrent with b's enable
+    >>> a.merge(b); b.merge(a)
+    >>> a.enabled or b.enabled             # disable wins
+    False
+    """
+
+    __slots__ = ()
+
+    def __init__(self, replica: Hashable, state: Causal | None = None) -> None:
+        super().__init__(replica, state if state is not None else Causal.set_bottom())
+
+    @staticmethod
+    def bottom() -> Causal:
+        """The initial (enabled) state."""
+        return Causal.set_bottom()
+
+    # ------------------------------------------------------------------
+    # Mutators.
+    # ------------------------------------------------------------------
+
+    def disable(self) -> Causal:
+        """Clear the flag; returns the optimal delta."""
+        delta = self.disable_delta(self.state)
+        return self.apply_delta(delta)
+
+    def enable(self) -> Causal:
+        """Set the flag; returns the optimal delta."""
+        delta = self.enable_delta(self.state)
+        return self.apply_delta(delta)
+
+    def disable_delta(self, state: Causal) -> Causal:
+        """δ-mutator: one fresh disable dot, covering the observed ones."""
+        dot = state.context.next_dot(self.replica)
+        covered = set(state.store.dots())
+        covered.add(dot)
+        return Causal(DotSet((dot,)), CausalContext.from_dots(covered))
+
+    def enable_delta(self, state: Causal) -> Causal:
+        """δ-mutator: cover the observed disable dots (⊥ if none)."""
+        observed = state.store.dots()
+        if not observed:
+            return state.bottom_like()
+        return Causal(DotSet(), CausalContext.from_dots(observed))
+
+    # ------------------------------------------------------------------
+    # Queries.
+    # ------------------------------------------------------------------
+
+    @property
+    def enabled(self) -> bool:
+        """True while no disable dot survives."""
+        return self.state.store.is_empty

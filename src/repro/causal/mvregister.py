@@ -1,0 +1,75 @@
+"""Causal multi-value register: ``DotFun⟨Atom⟩``.
+
+A register whose concurrent writes are all retained; a read returns the
+set of values written by the maximal (mutually concurrent) writes, and
+a new write covers every value the writer has observed.  This is the
+register semantics of Riak and of the original Shapiro et al. MVRegister,
+expressed in the causal framework so it composes with every
+synchronizer in the library and decomposes into optimal deltas (one
+dot-value pair per write, plus the covered dots as context).
+
+The sibling :mod:`repro.crdt.mvregister` implements the same data type
+with version-vector antichains; this one demonstrates the dot-store
+construction and is the one to nest inside OR-maps.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Hashable
+
+from repro.causal.atom import Atom
+from repro.causal.causal import Causal
+from repro.causal.dots import CausalContext
+from repro.causal.stores import DotFun
+from repro.crdt.base import Crdt
+
+
+class CausalMVRegister(Crdt):
+    """A multi-value register with optimal write deltas.
+
+    >>> a, b = CausalMVRegister("A"), CausalMVRegister("B")
+    >>> _ = a.write(1)
+    >>> _ = b.write(2)                     # concurrent with a's write
+    >>> a.merge(b)
+    >>> sorted(a.values)
+    [1, 2]
+    >>> _ = a.write(3)                     # observes both, covers both
+    >>> b.merge(a)
+    >>> sorted(b.values)
+    [3]
+    """
+
+    __slots__ = ()
+
+    def __init__(self, replica: Hashable, state: Causal | None = None) -> None:
+        super().__init__(replica, state if state is not None else Causal.fun_bottom())
+
+    @staticmethod
+    def bottom() -> Causal:
+        """The unwritten register."""
+        return Causal.fun_bottom()
+
+    # ------------------------------------------------------------------
+    # Mutators.
+    # ------------------------------------------------------------------
+
+    def write(self, value: Hashable) -> Causal:
+        """Write ``value``, superseding every observed value."""
+        delta = self.write_delta(self.state, value)
+        return self.apply_delta(delta)
+
+    def write_delta(self, state: Causal, value: Hashable) -> Causal:
+        """δ-mutator: one fresh dot-value pair covering the observed dots."""
+        dot = state.context.next_dot(self.replica)
+        covered = set(state.store.dots())
+        covered.add(dot)
+        return Causal(DotFun({dot: Atom(value)}), CausalContext.from_dots(covered))
+
+    # ------------------------------------------------------------------
+    # Queries.
+    # ------------------------------------------------------------------
+
+    @property
+    def values(self) -> FrozenSet[Hashable]:
+        """The surviving concurrently-written values (empty if unwritten)."""
+        return frozenset(atom.value for atom in self.state.store.values())

@@ -1,0 +1,147 @@
+"""Observed-remove map: ``DotMap⟨K, V⟩`` over nested causal values.
+
+A map whose values are themselves causal CRDTs (flags, registers,
+AW-sets, or further maps), with observed-remove semantics on whole
+keys: removing a key erases the value state the remover has seen, while
+updates concurrent with the removal survive under fresh dots — the
+same add-wins resolution as :class:`~repro.causal.awset.AWSet`, lifted
+to arbitrary value types.
+
+All nested values share the single top-level causal context, which is
+what keeps an OR-map cheap: one context per map, not one per key.  A
+key update is expressed as a δ-mutator on the *value view* ``(value
+store, map context)``; the resulting value delta is wrapped back under
+the key with the same delta context.
+
+>>> from repro.causal.mvregister import CausalMVRegister
+>>> carts = ORMap("A", value_bottom=Causal.fun_bottom())
+>>> reg = CausalMVRegister("A")
+>>> _ = carts.update("alice", lambda view: reg.write_delta(view, "3 apples"))
+>>> sorted(carts.value_view("alice").store.values(), key=repr)[0].value
+'3 apples'
+>>> _ = carts.remove("alice")
+>>> "alice" in carts.keys()
+False
+"""
+
+from __future__ import annotations
+
+from typing import Callable, FrozenSet, Hashable, Iterator
+
+from repro.causal.causal import Causal
+from repro.causal.dots import CausalContext
+from repro.causal.stores import DotMap
+from repro.crdt.base import Crdt
+
+#: A δ-mutator over a value view ``(value store, map context)``.
+ValueMutator = Callable[[Causal], Causal]
+
+
+class ORMap(Crdt):
+    """A map from keys to nested causal CRDT values.
+
+    Args:
+        replica: The local replica identifier.
+        value_bottom: A bottom causal value fixing the store shape of
+            the map's values (e.g. ``Causal.map_bottom()`` for AW-set
+            values, ``Causal.fun_bottom()`` for register values); used
+            to build the value view of a key that is not present yet.
+        state: Optional starting state (defaults to the empty map).
+    """
+
+    __slots__ = ("value_bottom",)
+
+    def __init__(
+        self,
+        replica: Hashable,
+        value_bottom: Causal,
+        state: Causal | None = None,
+    ) -> None:
+        super().__init__(replica, state if state is not None else Causal.map_bottom())
+        self.value_bottom = value_bottom
+
+    @staticmethod
+    def bottom() -> Causal:
+        """The empty map all replicas start from."""
+        return Causal.map_bottom()
+
+    # ------------------------------------------------------------------
+    # Mutators.
+    # ------------------------------------------------------------------
+
+    def update(self, key: Hashable, mutate: ValueMutator) -> Causal:
+        """Apply a value δ-mutator under ``key``; returns the map delta."""
+        delta = self.update_delta(self.state, key, mutate)
+        return self.apply_delta(delta)
+
+    def remove(self, key: Hashable) -> Causal:
+        """Erase the observed value under ``key``; returns the map delta."""
+        delta = self.remove_delta(self.state, key)
+        return self.apply_delta(delta)
+
+    def update_delta(
+        self, state: Causal, key: Hashable, mutate: ValueMutator
+    ) -> Causal:
+        """δ-mutator: run ``mutate`` on the key's value view and re-wrap.
+
+        The view pairs the key's current value store (bottom when the
+        key is absent) with the **map's** context, so fresh dots drawn
+        by the value mutator never collide with dots used elsewhere in
+        the map.
+        """
+        sub = state.store.get(key)
+        if sub is None:
+            sub = self.value_bottom.store
+        view = Causal(sub, state.context)
+        value_delta = mutate(view)
+        if value_delta.is_bottom:
+            return state.bottom_like()
+        return Causal(DotMap({key: value_delta.store}), value_delta.context)
+
+    def remove_delta(self, state: Causal, key: Hashable) -> Causal:
+        """δ-mutator: cover the key's observed dots, shipping no payload."""
+        sub = state.store.get(key)
+        if sub is None:
+            return state.bottom_like()
+        return Causal(DotMap(), CausalContext.from_dots(sub.dots()))
+
+    def clear_delta(self, state: Causal) -> Causal:
+        """δ-mutator: cover every key's observed dots."""
+        dots = state.store.dots()
+        if not dots:
+            return state.bottom_like()
+        return Causal(DotMap(), CausalContext.from_dots(dots))
+
+    def clear(self) -> Causal:
+        """Erase every observed key; returns the map delta."""
+        delta = self.clear_delta(self.state)
+        return self.apply_delta(delta)
+
+    # ------------------------------------------------------------------
+    # Queries.
+    # ------------------------------------------------------------------
+
+    def keys(self) -> FrozenSet[Hashable]:
+        """Keys currently holding at least one live dot."""
+        return frozenset(self.state.store.keys())
+
+    def value_view(self, key: Hashable) -> Causal:
+        """The value under ``key`` as a causal state sharing the map context.
+
+        Queries on the nested CRDT type read from this view; for an
+        absent key the view is the configured value bottom paired with
+        the map's context.
+        """
+        sub = self.state.store.get(key)
+        if sub is None:
+            sub = self.value_bottom.store
+        return Causal(sub, self.state.context)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self.state.store
+
+    def __iter__(self) -> Iterator[Hashable]:
+        return iter(self.state.store.keys())
+
+    def __len__(self) -> int:
+        return len(self.state.store)

@@ -1,0 +1,111 @@
+"""Remove-wins observed-remove set: ``DotMap⟨E × {add, rmv}, DotSet⟩``.
+
+The policy dual of :class:`~repro.causal.awset.AWSet`: under a
+concurrent add and remove of the same element, the remove prevails.
+Each element keeps *two* dot sets — one for surviving add assertions
+and one for surviving remove assertions — and membership requires an
+add assertion with no standing remove assertion.  Asserting either side
+covers the observed dots of **both** sides, which is what gives the
+fresher concurrent assertion its victory.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Hashable, Iterator, Set
+
+from repro.causal.causal import Causal
+from repro.causal.dots import CausalContext
+from repro.causal.stores import DotMap, DotSet
+from repro.crdt.base import Crdt
+
+#: Tags distinguishing the two assertion sides of an element.
+_ADD = True
+_RMV = False
+
+
+class RWSet(Crdt):
+    """A remove-wins set with optimal assertion deltas.
+
+    >>> a, b = RWSet("A"), RWSet("B")
+    >>> _ = a.add("milk")
+    >>> b.merge(a)
+    >>> _ = b.remove("milk")
+    >>> _ = a.add("milk")                  # concurrent re-add
+    >>> a.merge(b); b.merge(a)
+    >>> a.contains("milk") or b.contains("milk")   # remove wins
+    False
+    """
+
+    __slots__ = ()
+
+    def __init__(self, replica: Hashable, state: Causal | None = None) -> None:
+        super().__init__(replica, state if state is not None else Causal.map_bottom())
+
+    @staticmethod
+    def bottom() -> Causal:
+        """The empty set all replicas start from."""
+        return Causal.map_bottom()
+
+    # ------------------------------------------------------------------
+    # Mutators.
+    # ------------------------------------------------------------------
+
+    def add(self, element: Hashable) -> Causal:
+        """Assert membership of ``element``; returns the optimal delta."""
+        delta = self._assert_delta(self.state, element, _ADD)
+        return self.apply_delta(delta)
+
+    def remove(self, element: Hashable) -> Causal:
+        """Assert removal of ``element``; returns the optimal delta."""
+        delta = self._assert_delta(self.state, element, _RMV)
+        return self.apply_delta(delta)
+
+    def add_delta(self, state: Causal, element: Hashable) -> Causal:
+        """δ-mutator for :meth:`add` against an explicit state."""
+        return self._assert_delta(state, element, _ADD)
+
+    def remove_delta(self, state: Causal, element: Hashable) -> Causal:
+        """δ-mutator for :meth:`remove` against an explicit state."""
+        return self._assert_delta(state, element, _RMV)
+
+    def _assert_delta(self, state: Causal, element: Hashable, side: bool) -> Causal:
+        """One fresh dot on ``side``, covering both sides' observed dots."""
+        dot = state.context.next_dot(self.replica)
+        covered: Set = {dot}
+        for tag in (_ADD, _RMV):
+            existing = state.store.get((element, tag))
+            if existing is not None:
+                covered |= existing.dots()
+        return Causal(
+            DotMap({(element, side): DotSet((dot,))}),
+            CausalContext.from_dots(covered),
+        )
+
+    # ------------------------------------------------------------------
+    # Queries.
+    # ------------------------------------------------------------------
+
+    def contains(self, element: Hashable) -> bool:
+        """Membership: a surviving add assertion and no remove assertion."""
+        return (element, _ADD) in self.state.store and (
+            element,
+            _RMV,
+        ) not in self.state.store
+
+    @property
+    def value(self) -> FrozenSet[Hashable]:
+        """The current set of elements."""
+        return frozenset(
+            element
+            for (element, tag) in self.state.store.keys()
+            if tag == _ADD and (element, _RMV) not in self.state.store
+        )
+
+    def __contains__(self, element: Hashable) -> bool:
+        return self.contains(element)
+
+    def __iter__(self) -> Iterator[Hashable]:
+        return iter(self.value)
+
+    def __len__(self) -> int:
+        return len(self.value)

@@ -1,0 +1,248 @@
+"""Command-line experiment runner: ``python -m repro``.
+
+Regenerates any of the paper's evaluation artifacts from a terminal,
+without writing a driver script::
+
+    python -m repro list
+    python -m repro run figure7 --nodes 15 --rounds 100
+    python -m repro run figure9 --sizes 8,16,32
+    python -m repro run figure11 --coefficients 0.5,1.0,1.5 --scale ci
+    python -m repro run all --scale ci
+
+Each run prints the same plain-text table the corresponding
+``benchmarks/bench_*.py`` target produces, so CLI output can be diffed
+against EXPERIMENTS.md.  ``--scale`` selects parameter presets: ``ci``
+(seconds, shape-preserving), ``default`` (the drivers' defaults), and
+``paper`` (the paper's full 15/50-node deployments; minutes).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.experiments import (
+    EXPERIMENTS,
+    RetwisConfig,
+    run_appendixb,
+    run_figure1,
+    run_figure7,
+    run_figure8,
+    run_figure9,
+    run_figure10,
+    run_figure11,
+    run_figure12,
+    run_table1,
+    run_table2,
+)
+
+#: Micro-benchmark presets per scale: node count and update rounds.
+_MICRO_SCALES = {
+    "ci": {"nodes": 8, "rounds": 10},
+    "default": {"nodes": 15, "rounds": 30},
+    "paper": {"nodes": 15, "rounds": 100},
+}
+
+_FIGURE9_SCALES = {
+    "ci": {"sizes": (8, 16), "rounds": 10},
+    "default": {"sizes": (8, 16, 32), "rounds": 30},
+    "paper": {"sizes": (8, 16, 32, 48), "rounds": 100},
+}
+
+_RETWIS_SCALES = {
+    "ci": RetwisConfig(nodes=10, degree=4, users=120, rounds=10, ops_per_node=6),
+    "default": RetwisConfig(),
+    "paper": RetwisConfig.paper_scale(),
+}
+
+_RETWIS_COEFFICIENTS = {
+    "ci": (0.5, 1.0, 1.5),
+    "default": (0.5, 1.0, 1.25, 1.5),
+    "paper": (0.5, 0.75, 1.0, 1.25, 1.5),
+}
+
+
+def _parse_floats(text: str) -> Sequence[float]:
+    return tuple(float(part) for part in text.split(",") if part)
+
+
+def _parse_ints(text: str) -> Sequence[int]:
+    return tuple(int(part) for part in text.split(",") if part)
+
+
+def _micro_kwargs(args: argparse.Namespace) -> Dict[str, int]:
+    preset = dict(_MICRO_SCALES[args.scale])
+    if args.nodes is not None:
+        preset["nodes"] = args.nodes
+    if args.rounds is not None:
+        preset["rounds"] = args.rounds
+    return preset
+
+
+def _retwis_inputs(args: argparse.Namespace):
+    config = _RETWIS_SCALES[args.scale]
+    coefficients = _RETWIS_COEFFICIENTS[args.scale]
+    if args.coefficients is not None:
+        coefficients = args.coefficients
+    if args.nodes is not None or args.users is not None:
+        config = RetwisConfig(
+            nodes=args.nodes or config.nodes,
+            degree=config.degree,
+            users=args.users or config.users,
+            rounds=args.rounds or config.rounds,
+            ops_per_node=config.ops_per_node,
+            seed=config.seed,
+        )
+    return coefficients, config
+
+
+def _run_figure1(args):
+    return run_figure1(**_micro_kwargs(args))
+
+
+def _run_table1(args):
+    preset = _micro_kwargs(args)
+    return run_table1(nodes=preset["nodes"])
+
+
+def _run_figure7(args):
+    return run_figure7(**_micro_kwargs(args))
+
+
+def _run_figure8(args):
+    return run_figure8(**_micro_kwargs(args))
+
+
+def _run_figure9(args):
+    preset = dict(_FIGURE9_SCALES[args.scale])
+    if args.sizes is not None:
+        preset["sizes"] = args.sizes
+    if args.rounds is not None:
+        preset["rounds"] = args.rounds
+    return run_figure9(**preset)
+
+
+def _run_figure10(args):
+    return run_figure10(**_micro_kwargs(args))
+
+
+def _run_table2(args):
+    return run_table2(ops=args.ops or 20_000)
+
+
+def _run_appendixb(args):
+    preset = _micro_kwargs(args)
+    return run_appendixb(nodes=preset["nodes"], rounds=preset["rounds"])
+
+
+def _run_figure11(args):
+    coefficients, config = _retwis_inputs(args)
+    return run_figure11(coefficients, config)
+
+
+def _run_figure12(args):
+    coefficients, config = _retwis_inputs(args)
+    return run_figure12(coefficients, config)
+
+
+_RUNNERS: Dict[str, Callable] = {
+    "appendixb": _run_appendixb,
+    "figure1": _run_figure1,
+    "table1": _run_table1,
+    "figure7": _run_figure7,
+    "figure8": _run_figure8,
+    "figure9": _run_figure9,
+    "figure10": _run_figure10,
+    "table2": _run_table2,
+    "figure11": _run_figure11,
+    "figure12": _run_figure12,
+}
+
+_DESCRIPTIONS = {
+    "appendixb": "the Figure 7 grid on causal add/remove data (OR-set)",
+    "figure1": "classic delta ≈ state-based on a 15-node mesh (GSet)",
+    "table1": "micro-benchmark definitions (workload registry)",
+    "figure7": "transmission ratios, GSet & GCounter, tree + mesh",
+    "figure8": "transmission ratios, GMap 10/30/60/100%, tree + mesh",
+    "figure9": "metadata bytes per node vs cluster size",
+    "figure10": "memory ratios vs BP+RR on the mesh",
+    "table2": "Retwis workload characterization",
+    "figure11": "Retwis bandwidth & memory vs Zipf contention",
+    "figure12": "CPU overhead of classic vs BP+RR (Retwis)",
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Regenerate the evaluation of 'Efficient Synchronization of "
+            "State-based CRDTs' (Enes et al., ICDE 2019)."
+        ),
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser("list", help="list the available experiments")
+
+    run = commands.add_parser("run", help="run one experiment (or 'all')")
+    run.add_argument(
+        "experiment",
+        choices=sorted(_RUNNERS) + ["all"],
+        help="paper artifact to regenerate",
+    )
+    run.add_argument(
+        "--scale",
+        choices=("ci", "default", "paper"),
+        default="default",
+        help="parameter preset (ci: seconds; paper: the full deployment)",
+    )
+    run.add_argument("--nodes", type=int, help="override the node count")
+    run.add_argument("--rounds", type=int, help="override the update rounds")
+    run.add_argument("--users", type=int, help="Retwis user count (figure11/12)")
+    run.add_argument("--ops", type=int, help="operation count (table2)")
+    run.add_argument(
+        "--sizes", type=_parse_ints, help="cluster sizes, comma-separated (figure9)"
+    )
+    run.add_argument(
+        "--coefficients",
+        type=_parse_floats,
+        help="Zipf coefficients, comma-separated (figure11/12)",
+    )
+    run.add_argument(
+        "--out", type=str, default=None, help="also write the report to this file"
+    )
+    return parser
+
+
+def _emit(text: str, out_path: Optional[str], stream) -> None:
+    print(text, file=stream)
+    if out_path:
+        with open(out_path, "a", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+
+
+def main(argv: Optional[List[str]] = None, stream=None) -> int:
+    """Entry point; returns a process exit code."""
+    stream = stream if stream is not None else sys.stdout
+    args = build_parser().parse_args(argv)
+
+    if args.command == "list":
+        width = max(len(name) for name in _RUNNERS)
+        for name in sorted(_RUNNERS):
+            print(f"{name.ljust(width)}  {_DESCRIPTIONS[name]}", file=stream)
+        return 0
+
+    targets = sorted(_RUNNERS) if args.experiment == "all" else [args.experiment]
+    for name in targets:
+        started = time.perf_counter()
+        result = _RUNNERS[name](args)
+        elapsed = time.perf_counter() - started
+        _emit(result.render(), args.out, stream)
+        _emit(f"[{name} completed in {elapsed:.1f}s]\n", args.out, stream)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

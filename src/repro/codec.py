@@ -1,0 +1,412 @@
+"""Binary wire codec for lattice states and deltas.
+
+The evaluation harness *counts* serialized sizes through
+:class:`~repro.sizes.SizeModel`; a deployable library must also
+actually produce the bytes.  This module is a compact, dependency-free
+binary format covering every lattice shape in the library — the
+grow-only constructs, the composition constructs, and the causal
+(dot-store) family — with a round-trip guarantee::
+
+    decode(encode(x)) == x
+
+Format: one tag byte per node, unsigned LEB128 varints for lengths and
+naturals, ZigZag-LEB128 for signed integers, UTF-8 for strings.
+Collections are sorted before encoding, so equal lattice values always
+produce identical bytes — encodings can be compared, hashed, and
+deduplicated (handy for δ-buffer persistence and content-addressed
+stores).
+
+Atoms (set elements, map keys, register payloads) may be strings,
+byte strings, signed integers, floats, booleans, ``None``, or (nested)
+tuples of these.  Two constructs cannot round-trip and are rejected
+with :class:`UnsupportedType`: :class:`~repro.lattice.maximals.
+MaxElements` (its dominance order is an arbitrary function) and
+:class:`~repro.lattice.primitives.Chain` over non-atom carriers.
+"""
+
+from __future__ import annotations
+
+import struct
+from io import BytesIO
+from typing import Any, BinaryIO
+
+from repro.causal.atom import Atom
+from repro.causal.causal import Causal
+from repro.causal.dots import CausalContext, Dot
+from repro.causal.stores import DotFun, DotMap, DotSet, DotStore
+from repro.lattice.base import Lattice
+from repro.lattice.lexicographic import LexPair
+from repro.lattice.linear_sum import LinearSum
+from repro.lattice.map_lattice import MapLattice
+from repro.lattice.primitives import Bool, Chain, MaxInt
+from repro.lattice.product import PairLattice
+from repro.lattice.set_lattice import SetLattice
+
+
+class CodecError(ValueError):
+    """Malformed input or a violated format invariant."""
+
+
+class UnsupportedType(TypeError):
+    """The value contains something the wire format cannot represent."""
+
+
+# ---------------------------------------------------------------------------
+# Varints.
+# ---------------------------------------------------------------------------
+
+
+def write_uvarint(out: BinaryIO, value: int) -> None:
+    """Unsigned LEB128."""
+    if value < 0:
+        raise CodecError(f"uvarint cannot encode negative {value}")
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.write(bytes((byte | 0x80,)))
+        else:
+            out.write(bytes((byte,)))
+            return
+
+
+def read_uvarint(data: BinaryIO) -> int:
+    result = 0
+    shift = 0
+    while True:
+        chunk = data.read(1)
+        if not chunk:
+            raise CodecError("truncated varint")
+        byte = chunk[0]
+        result |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return result
+        shift += 7
+        if shift > 140:  # 20 continuation bytes ≈ 2^140: junk, not data
+            raise CodecError("varint too long")
+
+
+def write_svarint(out: BinaryIO, value: int) -> None:
+    """ZigZag-mapped signed LEB128 (exact for arbitrary precision)."""
+    write_uvarint(out, value * 2 if value >= 0 else -value * 2 - 1)
+
+
+def read_svarint(data: BinaryIO) -> int:
+    raw = read_uvarint(data)
+    return raw // 2 if raw % 2 == 0 else -(raw + 1) // 2
+
+
+# ---------------------------------------------------------------------------
+# Atoms (plain Python payloads).
+# ---------------------------------------------------------------------------
+
+_ATOM_NONE = 0x00
+_ATOM_FALSE = 0x01
+_ATOM_TRUE = 0x02
+_ATOM_INT = 0x03
+_ATOM_FLOAT = 0x04
+_ATOM_STR = 0x05
+_ATOM_BYTES = 0x06
+_ATOM_TUPLE = 0x07
+
+
+def write_atom(out: BinaryIO, value: Any) -> None:
+    """Encode a plain payload (element, key, register value)."""
+    if value is None:
+        out.write(bytes((_ATOM_NONE,)))
+    elif value is False:
+        out.write(bytes((_ATOM_FALSE,)))
+    elif value is True:
+        out.write(bytes((_ATOM_TRUE,)))
+    elif isinstance(value, int):
+        out.write(bytes((_ATOM_INT,)))
+        write_svarint(out, value)
+    elif isinstance(value, float):
+        out.write(bytes((_ATOM_FLOAT,)))
+        out.write(struct.pack(">d", value))
+    elif isinstance(value, str):
+        encoded = value.encode("utf-8")
+        out.write(bytes((_ATOM_STR,)))
+        write_uvarint(out, len(encoded))
+        out.write(encoded)
+    elif isinstance(value, bytes):
+        out.write(bytes((_ATOM_BYTES,)))
+        write_uvarint(out, len(value))
+        out.write(value)
+    elif isinstance(value, tuple):
+        out.write(bytes((_ATOM_TUPLE,)))
+        write_uvarint(out, len(value))
+        for part in value:
+            write_atom(out, part)
+    else:
+        raise UnsupportedType(f"cannot encode payload of type {type(value).__name__}")
+
+
+def read_atom(data: BinaryIO) -> Any:
+    chunk = data.read(1)
+    if not chunk:
+        raise CodecError("truncated atom")
+    tag = chunk[0]
+    if tag == _ATOM_NONE:
+        return None
+    if tag == _ATOM_FALSE:
+        return False
+    if tag == _ATOM_TRUE:
+        return True
+    if tag == _ATOM_INT:
+        return read_svarint(data)
+    if tag == _ATOM_FLOAT:
+        packed = data.read(8)
+        if len(packed) != 8:
+            raise CodecError("truncated float")
+        return struct.unpack(">d", packed)[0]
+    if tag == _ATOM_STR:
+        length = read_uvarint(data)
+        return _read_exact(data, length).decode("utf-8")
+    if tag == _ATOM_BYTES:
+        length = read_uvarint(data)
+        return _read_exact(data, length)
+    if tag == _ATOM_TUPLE:
+        length = read_uvarint(data)
+        return tuple(read_atom(data) for _ in range(length))
+    raise CodecError(f"unknown atom tag 0x{tag:02x}")
+
+
+def _read_exact(data: BinaryIO, length: int) -> bytes:
+    chunk = data.read(length)
+    if len(chunk) != length:
+        raise CodecError(f"expected {length} bytes, got {len(chunk)}")
+    return chunk
+
+
+def _atom_sort_key(value: Any):
+    """Deterministic ordering over heterogeneous atoms."""
+    return (type(value).__name__, repr(value))
+
+
+# ---------------------------------------------------------------------------
+# Lattice values.
+# ---------------------------------------------------------------------------
+
+_TAG_MAXINT = 0x10
+_TAG_BOOL = 0x11
+_TAG_CHAIN = 0x12
+_TAG_SET = 0x13
+_TAG_MAP = 0x14
+_TAG_PAIR = 0x15
+_TAG_LEX = 0x16
+_TAG_SUM = 0x17
+_TAG_CAUSAL = 0x20
+_TAG_LATTICE_ATOM = 0x21
+
+_STORE_DOTSET = 0x01
+_STORE_DOTFUN = 0x02
+_STORE_DOTMAP = 0x03
+
+
+def encode(value: Lattice) -> bytes:
+    """Serialize a lattice value to canonical bytes."""
+    out = BytesIO()
+    _write_lattice(out, value)
+    return out.getvalue()
+
+
+def decode(data: bytes) -> Lattice:
+    """Inverse of :func:`encode`; raises :class:`CodecError` on junk.
+
+    Any malformed input surfaces as :class:`CodecError` — including
+    corruption that parses structurally but violates a lattice
+    constructor's invariants (e.g. a Chain value below its bottom).
+    """
+    stream = BytesIO(data)
+    try:
+        value = _read_lattice(stream)
+    except CodecError:
+        raise
+    except (TypeError, ValueError) as exc:
+        raise CodecError(f"malformed lattice value: {exc}") from exc
+    trailing = stream.read(1)
+    if trailing:
+        raise CodecError("trailing bytes after lattice value")
+    return value
+
+
+def _write_lattice(out: BinaryIO, value: Lattice) -> None:
+    if isinstance(value, MaxInt):
+        out.write(bytes((_TAG_MAXINT,)))
+        write_uvarint(out, value.value)
+    elif isinstance(value, Bool):
+        out.write(bytes((_TAG_BOOL, 1 if value.value else 0)))
+    elif isinstance(value, Chain):
+        out.write(bytes((_TAG_CHAIN,)))
+        write_atom(out, value.value)
+        write_atom(out, value.bottom_value)
+    elif isinstance(value, SetLattice):
+        out.write(bytes((_TAG_SET,)))
+        write_uvarint(out, len(value.elements))
+        for element in sorted(value.elements, key=_atom_sort_key):
+            write_atom(out, element)
+    elif isinstance(value, MapLattice):
+        out.write(bytes((_TAG_MAP,)))
+        entries = sorted(value.entries.items(), key=lambda kv: _atom_sort_key(kv[0]))
+        write_uvarint(out, len(entries))
+        for key, bound in entries:
+            write_atom(out, key)
+            _write_lattice(out, bound)
+    elif isinstance(value, LexPair):
+        # Checked before PairLattice in case of subclassing; the two are
+        # distinct classes here but share shape.
+        out.write(bytes((_TAG_LEX,)))
+        _write_lattice(out, value.first)
+        _write_lattice(out, value.second)
+    elif isinstance(value, PairLattice):
+        out.write(bytes((_TAG_PAIR,)))
+        _write_lattice(out, value.first)
+        _write_lattice(out, value.second)
+    elif isinstance(value, LinearSum):
+        out.write(bytes((_TAG_SUM,)))
+        out.write(bytes((0 if value.tag == "Left" else 1,)))
+        _write_lattice(out, value.value)
+        _write_lattice(out, value.left_bottom)
+    elif isinstance(value, Atom):
+        out.write(bytes((_TAG_LATTICE_ATOM,)))
+        if value.is_bottom:
+            out.write(bytes((0,)))
+        else:
+            out.write(bytes((1,)))
+            write_atom(out, value.value)
+    elif isinstance(value, Causal):
+        out.write(bytes((_TAG_CAUSAL,)))
+        _write_store(out, value.store)
+        _write_context(out, value.context)
+    else:
+        raise UnsupportedType(
+            f"no wire format for {type(value).__name__} "
+            "(MaxElements and custom lattices are not serializable)"
+        )
+
+
+def _read_lattice(data: BinaryIO) -> Lattice:
+    chunk = data.read(1)
+    if not chunk:
+        raise CodecError("truncated lattice value")
+    tag = chunk[0]
+    if tag == _TAG_MAXINT:
+        return MaxInt(read_uvarint(data))
+    if tag == _TAG_BOOL:
+        return Bool(bool(_read_exact(data, 1)[0]))
+    if tag == _TAG_CHAIN:
+        value = read_atom(data)
+        bottom = read_atom(data)
+        return Chain(value, bottom=bottom)
+    if tag == _TAG_SET:
+        count = read_uvarint(data)
+        return SetLattice(read_atom(data) for _ in range(count))
+    if tag == _TAG_MAP:
+        count = read_uvarint(data)
+        entries = {}
+        for _ in range(count):
+            key = read_atom(data)
+            entries[key] = _read_lattice(data)
+        return MapLattice(entries)
+    if tag == _TAG_LEX:
+        return LexPair(_read_lattice(data), _read_lattice(data))
+    if tag == _TAG_PAIR:
+        return PairLattice(_read_lattice(data), _read_lattice(data))
+    if tag == _TAG_SUM:
+        side = _read_exact(data, 1)[0]
+        value = _read_lattice(data)
+        left_bottom = _read_lattice(data)
+        tag_name = "Left" if side == 0 else "Right"
+        return LinearSum(tag_name, value, left_bottom=left_bottom)
+    if tag == _TAG_LATTICE_ATOM:
+        present = _read_exact(data, 1)[0]
+        return Atom(read_atom(data)) if present else Atom()
+    if tag == _TAG_CAUSAL:
+        store = _read_store(data)
+        context = _read_context(data)
+        return Causal(store, context)
+    raise CodecError(f"unknown lattice tag 0x{tag:02x}")
+
+
+# ---------------------------------------------------------------------------
+# Causal pieces.
+# ---------------------------------------------------------------------------
+
+
+def _write_dot(out: BinaryIO, dot: Dot) -> None:
+    write_atom(out, dot.replica)
+    write_uvarint(out, dot.counter)
+
+
+def _read_dot(data: BinaryIO) -> Dot:
+    return Dot(read_atom(data), read_uvarint(data))
+
+
+def _dot_sort_key(dot: Dot):
+    return (_atom_sort_key(dot.replica), dot.counter)
+
+
+def _write_context(out: BinaryIO, context: CausalContext) -> None:
+    compact = sorted(context.compact.items(), key=lambda kv: _atom_sort_key(kv[0]))
+    write_uvarint(out, len(compact))
+    for replica, top in compact:
+        write_atom(out, replica)
+        write_uvarint(out, top)
+    cloud = sorted(context.cloud, key=_dot_sort_key)
+    write_uvarint(out, len(cloud))
+    for dot in cloud:
+        _write_dot(out, dot)
+
+
+def _read_context(data: BinaryIO) -> CausalContext:
+    compact = {}
+    for _ in range(read_uvarint(data)):
+        replica = read_atom(data)
+        compact[replica] = read_uvarint(data)
+    cloud = [_read_dot(data) for _ in range(read_uvarint(data))]
+    return CausalContext(compact, cloud)
+
+
+def _write_store(out: BinaryIO, store: DotStore) -> None:
+    if isinstance(store, DotSet):
+        out.write(bytes((_STORE_DOTSET,)))
+        dots = sorted(store.dots(), key=_dot_sort_key)
+        write_uvarint(out, len(dots))
+        for dot in dots:
+            _write_dot(out, dot)
+    elif isinstance(store, DotFun):
+        out.write(bytes((_STORE_DOTFUN,)))
+        entries = sorted(store.items(), key=lambda kv: _dot_sort_key(kv[0]))
+        write_uvarint(out, len(entries))
+        for dot, bound in entries:
+            _write_dot(out, dot)
+            _write_lattice(out, bound)
+    elif isinstance(store, DotMap):
+        out.write(bytes((_STORE_DOTMAP,)))
+        entries = sorted(store.items(), key=lambda kv: _atom_sort_key(kv[0]))
+        write_uvarint(out, len(entries))
+        for key, sub in entries:
+            write_atom(out, key)
+            _write_store(out, sub)
+    else:  # pragma: no cover - the three shapes are closed
+        raise UnsupportedType(f"unknown dot store {type(store).__name__}")
+
+
+def _read_store(data: BinaryIO) -> DotStore:
+    tag = _read_exact(data, 1)[0]
+    if tag == _STORE_DOTSET:
+        return DotSet(_read_dot(data) for _ in range(read_uvarint(data)))
+    if tag == _STORE_DOTFUN:
+        entries = {}
+        for _ in range(read_uvarint(data)):
+            dot = _read_dot(data)
+            entries[dot] = _read_lattice(data)
+        return DotFun(entries)
+    if tag == _STORE_DOTMAP:
+        entries = {}
+        for _ in range(read_uvarint(data)):
+            key = read_atom(data)
+            entries[key] = _read_store(data)
+        return DotMap(entries)
+    raise CodecError(f"unknown dot-store tag 0x{tag:02x}")

@@ -1,0 +1,44 @@
+"""State-based CRDTs built from the lattice substrate.
+
+Each data type couples a lattice state with mutators and their optimal
+δ-mutators (Section III-B of the paper): for every mutator ``m`` the
+δ-mutator returns ``mδ(x) = ∆(m(x), x)``, the least state that joined
+with ``x`` produces ``m(x)``.
+
+The types mirror the paper's catalogue:
+
+* :class:`~repro.crdt.gcounter.GCounter` and
+  :class:`~repro.crdt.gset.GSet` — the running examples of Figure 2;
+* :class:`~repro.crdt.gmap.GMap` — the grow-only map of Table I;
+* :class:`~repro.crdt.pncounter.PNCounter` — the Appendix C example;
+* :class:`~repro.crdt.lwwregister.LWWRegister`,
+  :class:`~repro.crdt.twopset.TwoPSet`,
+  :class:`~repro.crdt.mvregister.MVRegister` — composition-construct
+  show-cases (lexicographic product, cartesian product, maximals);
+* :class:`~repro.crdt.bcounter.BCounter` — a non-negative counter with
+  locally-checked decrement rights (numeric-invariant extension).
+"""
+
+from repro.crdt.base import Crdt, optimal_delta_mutator
+from repro.crdt.bcounter import BCounter, InsufficientRights
+from repro.crdt.gcounter import GCounter
+from repro.crdt.gset import GSet
+from repro.crdt.gmap import GMap
+from repro.crdt.pncounter import PNCounter
+from repro.crdt.lwwregister import LWWRegister
+from repro.crdt.twopset import TwoPSet
+from repro.crdt.mvregister import MVRegister
+
+__all__ = [
+    "BCounter",
+    "Crdt",
+    "InsufficientRights",
+    "optimal_delta_mutator",
+    "GCounter",
+    "GSet",
+    "GMap",
+    "PNCounter",
+    "LWWRegister",
+    "TwoPSet",
+    "MVRegister",
+]

@@ -1,0 +1,189 @@
+"""Bounded counter — a PNCounter that can never go negative.
+
+``BCounter`` (after Balegas et al., *Extending Eventually Consistent
+Cloud Databases for Enforcing Numeric Invariants*, SRDS 2015) enforces
+the global invariant ``value ≥ 0`` without coordination: each replica
+may only decrement against *rights* it locally owns, and rights can be
+transferred between replicas ahead of demand.  Increments mint rights
+for the incrementing replica.
+
+The state composes the library's lattice constructs —
+
+    BCounter = (I ↪→ (ℕ × ℕ))  ×  ((I × I) ↪→ ℕ)
+
+a PNCounter body plus a grow-only transfer matrix ``T`` where
+``T(i, j)`` accumulates the rights ``i`` has ceded to ``j``.  The local
+rights of replica ``i`` are::
+
+    rights(i) = inc(i) − dec(i) + Σⱼ T(j, i) − Σⱼ T(i, j)
+
+Every mutator checks the rights invariant before producing a delta, and
+every delta is optimal (one map entry), so the type drops into any of
+the library's synchronizers.  This is the ``bcounter`` extension listed
+in DESIGN.md §3.2; the single-writer discipline per map entry is the
+same one Appendix B of the paper invokes for lexicographic counters.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Tuple
+
+from repro.crdt.base import Crdt
+from repro.lattice.map_lattice import MapLattice
+from repro.lattice.primitives import MaxInt
+from repro.lattice.product import PairLattice
+
+
+def _body_entry(inc: int, dec: int) -> PairLattice:
+    return PairLattice(MaxInt(inc), MaxInt(dec))
+
+
+class InsufficientRights(ValueError):
+    """Raised when a decrement or transfer exceeds the local rights."""
+
+
+class BCounter(Crdt):
+    """A non-negative counter with locally-checked decrement rights.
+
+    >>> a, b = BCounter("A"), BCounter("B")
+    >>> _ = a.increment(10)
+    >>> _ = a.transfer(4, to="B")
+    >>> b.merge(a)
+    >>> _ = b.decrement(3)
+    >>> b.merge(a); a.merge(b)
+    >>> a.value
+    7
+    >>> a.rights, b.rights
+    (6, 1)
+    """
+
+    __slots__ = ()
+
+    def __init__(self, replica: Hashable, state: PairLattice | None = None) -> None:
+        super().__init__(replica, state if state is not None else BCounter.bottom())
+
+    @staticmethod
+    def bottom() -> PairLattice:
+        """An empty PNCounter body paired with an empty transfer matrix."""
+        return PairLattice(MapLattice(), MapLattice())
+
+    # ------------------------------------------------------------------
+    # Mutators (all return optimal deltas).
+    # ------------------------------------------------------------------
+
+    def increment(self, by: int = 1) -> PairLattice:
+        """Add ``by`` to the counter, minting ``by`` local rights."""
+        if by <= 0:
+            raise ValueError(f"increment must be positive, got {by}")
+        inc, _ = self._tallies()
+        delta = PairLattice(
+            MapLattice({self.replica: _body_entry(inc + by, 0)}),
+            self._matrix().bottom_like(),
+        )
+        return self.apply_delta(delta)
+
+    def decrement(self, by: int = 1) -> PairLattice:
+        """Subtract ``by``, if this replica owns enough rights.
+
+        Raises :class:`InsufficientRights` otherwise — the caller must
+        either :meth:`transfer` rights in from elsewhere or give up;
+        that local refusal is exactly what keeps the global value
+        non-negative with no coordination.
+        """
+        if by <= 0:
+            raise ValueError(f"decrement must be positive, got {by}")
+        available = self.rights
+        if by > available:
+            raise InsufficientRights(
+                f"replica {self.replica!r} holds {available} rights, needs {by}"
+            )
+        _, dec = self._tallies()
+        delta = PairLattice(
+            MapLattice({self.replica: _body_entry(0, dec + by)}),
+            self._matrix().bottom_like(),
+        )
+        return self.apply_delta(delta)
+
+    def transfer(self, amount: int, to: Hashable) -> PairLattice:
+        """Cede ``amount`` local rights to replica ``to``.
+
+        The transfer is an entry in the grow-only matrix, so it commutes
+        with every other operation; the recipient can spend the rights
+        as soon as the delta reaches it.
+        """
+        if amount <= 0:
+            raise ValueError(f"transfer must be positive, got {amount}")
+        if to == self.replica:
+            raise ValueError("cannot transfer rights to oneself")
+        available = self.rights
+        if amount > available:
+            raise InsufficientRights(
+                f"replica {self.replica!r} holds {available} rights, needs {amount}"
+            )
+        ceded = self._ceded(self.replica, to)
+        delta = PairLattice(
+            self._body().bottom_like(),
+            MapLattice({(self.replica, to): MaxInt(ceded + amount)}),
+        )
+        return self.apply_delta(delta)
+
+    # ------------------------------------------------------------------
+    # Queries.
+    # ------------------------------------------------------------------
+
+    @property
+    def value(self) -> int:
+        """Total increments minus total decrements (never negative)."""
+        total = 0
+        for _, pair in self._body().items():
+            assert isinstance(pair, PairLattice)
+            total += pair.first.value - pair.second.value
+        return total
+
+    @property
+    def rights(self) -> int:
+        """Decrement rights currently owned by the local replica."""
+        return self.rights_of(self.replica)
+
+    def rights_of(self, replica: Hashable) -> int:
+        """Rights owned by ``replica`` under the local view of the state.
+
+        Monotone reasoning makes the local check safe: increments and
+        inbound transfers only ever raise another replica's true rights
+        above our view, while the components that lower them (its own
+        decrements and outbound transfers) are written only by that
+        replica itself.
+        """
+        entry = self._body().get(replica)
+        inc = entry.first.value if isinstance(entry, PairLattice) else 0
+        dec = entry.second.value if isinstance(entry, PairLattice) else 0
+        inbound = outbound = 0
+        for (src, dst), ceded in self._matrix().items():
+            assert isinstance(ceded, MaxInt)
+            if dst == replica:
+                inbound += ceded.value
+            if src == replica:
+                outbound += ceded.value
+        return inc - dec + inbound - outbound
+
+    # ------------------------------------------------------------------
+    # State access helpers.
+    # ------------------------------------------------------------------
+
+    def _body(self) -> MapLattice:
+        assert isinstance(self.state, PairLattice)
+        return self.state.first
+
+    def _matrix(self) -> MapLattice:
+        assert isinstance(self.state, PairLattice)
+        return self.state.second
+
+    def _tallies(self) -> Tuple[int, int]:
+        entry = self._body().get(self.replica)
+        if not isinstance(entry, PairLattice):
+            return (0, 0)
+        return (entry.first.value, entry.second.value)
+
+    def _ceded(self, src: Hashable, dst: Hashable) -> int:
+        entry = self._matrix().get((src, dst))
+        return entry.value if isinstance(entry, MaxInt) else 0

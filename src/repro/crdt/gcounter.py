@@ -1,0 +1,76 @@
+"""Grow-only counter — Figure 2a of the paper.
+
+The state maps replica identifiers to per-replica increment tallies,
+``GCounter = I ↪→ ℕ``; the counter value is the sum of the entries.
+The mutator ``inc`` bumps the local replica's entry; its optimal
+δ-mutator returns just the updated entry (a one-entry map), which is
+the irreducible ``{i ↦ p(i) + 1}``.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+from repro.crdt.base import Crdt
+from repro.lattice.map_lattice import MapLattice
+from repro.lattice.primitives import MaxInt
+
+
+class GCounter(Crdt):
+    """A counter that only grows, summed across per-replica entries.
+
+    >>> a, b = GCounter("A"), GCounter("B")
+    >>> _ = a.increment(); _ = b.increment(); _ = b.increment()
+    >>> a.merge(b)
+    >>> a.value
+    3
+    """
+
+    __slots__ = ()
+
+    def __init__(self, replica: Hashable, state: MapLattice | None = None) -> None:
+        super().__init__(replica, state if state is not None else MapLattice())
+
+    @staticmethod
+    def bottom() -> MapLattice:
+        """The empty map ``⊥`` all replicas start from."""
+        return MapLattice()
+
+    # ------------------------------------------------------------------
+    # Mutators.
+    # ------------------------------------------------------------------
+
+    def increment(self, by: int = 1) -> MapLattice:
+        """Apply ``inc`` locally and return the optimal delta.
+
+        The delta is the single updated entry, exactly the paper's
+        ``incδ_i(p) = {i ↦ p(i) + 1}``.
+        """
+        if by <= 0:
+            raise ValueError(f"increment must be positive, got {by}")
+        delta = self.increment_delta(self.state, by)
+        return self.apply_delta(delta)
+
+    def increment_delta(self, state: MapLattice, by: int = 1) -> MapLattice:
+        """The δ-mutator ``incδ`` evaluated against an explicit state.
+
+        Exposed separately so synchronizers can generate deltas against
+        the state they manage.
+        """
+        current = state.get(self.replica)
+        base = current.value if isinstance(current, MaxInt) else 0
+        return MapLattice({self.replica: MaxInt(base + by)})
+
+    # ------------------------------------------------------------------
+    # Queries.
+    # ------------------------------------------------------------------
+
+    @property
+    def value(self) -> int:
+        """``value(p) = Σ { v | k ↦ v ∈ p }``."""
+        return sum(entry.value for _, entry in self.state.items())
+
+    def entry(self, replica: Hashable) -> int:
+        """The tally recorded for one replica (0 when absent)."""
+        found = self.state.get(replica)
+        return found.value if isinstance(found, MaxInt) else 0

@@ -1,0 +1,69 @@
+"""Grow-only set — Figure 2b of the paper.
+
+The state is the powerset lattice under union.  The optimal δ-mutator
+``addδ`` returns the singleton ``{e}`` only when ``e`` is new, and ``⊥``
+otherwise — the paper points out that the original formulation (always
+returning ``{e}``) is a source of redundant delta propagation.
+"""
+
+from __future__ import annotations
+
+from typing import AbstractSet, Hashable
+
+from repro.crdt.base import Crdt
+from repro.lattice.set_lattice import SetLattice
+
+
+class GSet(Crdt):
+    """A set that only accumulates elements.
+
+    >>> a, b = GSet("A"), GSet("B")
+    >>> _ = a.add("x"); _ = b.add("y")
+    >>> a.merge(b)
+    >>> sorted(a.value)
+    ['x', 'y']
+    """
+
+    __slots__ = ()
+
+    def __init__(self, replica: Hashable, state: SetLattice | None = None) -> None:
+        super().__init__(replica, state if state is not None else SetLattice())
+
+    @staticmethod
+    def bottom() -> SetLattice:
+        """The empty set ``⊥``."""
+        return SetLattice()
+
+    # ------------------------------------------------------------------
+    # Mutators.
+    # ------------------------------------------------------------------
+
+    def add(self, element: Hashable) -> SetLattice:
+        """Apply ``add`` locally and return the optimal delta.
+
+        Implements the paper's optimal ``addδ``: the delta is ``{e}`` if
+        the element is new and ``⊥`` if it was already present.
+        """
+        delta = self.add_delta(self.state, element)
+        return self.apply_delta(delta)
+
+    def add_delta(self, state: SetLattice, element: Hashable) -> SetLattice:
+        """The δ-mutator ``addδ`` evaluated against an explicit state."""
+        if element in state:
+            return state.bottom_like()
+        return SetLattice((element,))
+
+    # ------------------------------------------------------------------
+    # Queries.
+    # ------------------------------------------------------------------
+
+    @property
+    def value(self) -> AbstractSet[Hashable]:
+        """``value(s) = s`` — the accumulated element set."""
+        return self.state.elements
+
+    def __contains__(self, element: Hashable) -> bool:
+        return element in self.state
+
+    def __len__(self) -> int:
+        return len(self.state)

@@ -1,0 +1,86 @@
+"""Last-writer-wins register over a lexicographic pair.
+
+Appendix B motivates the lexicographic product's typical CRDT use: a
+chain-valued version as first component lets an actor overwrite the
+second component arbitrarily while keeping the state an inflation (the
+single-writer principle, as in Cassandra counters).  The LWW register
+instantiates that pattern with a timestamp chain and a value chain:
+higher timestamp wins outright; equal timestamps fall back to the value
+order, giving a deterministic total tiebreak.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Hashable
+
+from repro.crdt.base import Crdt
+from repro.lattice.lexicographic import LexPair
+from repro.lattice.primitives import Chain, MaxInt
+
+
+class LWWRegister(Crdt):
+    """A register whose most recent write (by timestamp) wins.
+
+    >>> r = LWWRegister("A")
+    >>> _ = r.write("first", timestamp=1)
+    >>> _ = r.write("second", timestamp=2)
+    >>> r.value
+    'second'
+    """
+
+    __slots__ = ("_value_bottom",)
+
+    def __init__(
+        self,
+        replica: Hashable,
+        state: LexPair | None = None,
+        value_bottom: Any = "",
+    ) -> None:
+        self._value_bottom = value_bottom
+        if state is None:
+            state = LexPair(MaxInt(0), Chain(value_bottom, bottom=value_bottom))
+        super().__init__(replica, state)
+
+    def bottom(self) -> LexPair:
+        """The unwritten register: version 0, bottom value."""
+        return LexPair(MaxInt(0), Chain(self._value_bottom, bottom=self._value_bottom))
+
+    # ------------------------------------------------------------------
+    # Mutators.
+    # ------------------------------------------------------------------
+
+    def write(self, value: Any, timestamp: int | None = None) -> LexPair:
+        """Write ``value``, bumping the version chain; return the delta.
+
+        When ``timestamp`` is omitted the current version plus one is
+        used, which guarantees the write is visible locally.  Writes
+        with stale timestamps lose against the current state and yield
+        a bottom delta.
+        """
+        assert isinstance(self.state, LexPair)
+        current_version = self.state.first
+        assert isinstance(current_version, MaxInt)
+        version = timestamp if timestamp is not None else current_version.value + 1
+        candidate = LexPair(MaxInt(version), Chain(value, bottom=self._value_bottom))
+        delta = candidate.delta(self.state)
+        return self.apply_delta(delta)
+
+    # ------------------------------------------------------------------
+    # Queries.
+    # ------------------------------------------------------------------
+
+    @property
+    def value(self) -> Any:
+        """The winning write's value."""
+        assert isinstance(self.state, LexPair)
+        chain = self.state.second
+        assert isinstance(chain, Chain)
+        return chain.value
+
+    @property
+    def timestamp(self) -> int:
+        """The winning write's timestamp."""
+        assert isinstance(self.state, LexPair)
+        version = self.state.first
+        assert isinstance(version, MaxInt)
+        return version.value

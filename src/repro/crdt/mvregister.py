@@ -1,0 +1,99 @@
+"""Multi-value register over the maximal-elements construct ``M(P)``.
+
+Concurrent writes to a register cannot be ordered; the multi-value
+register keeps *all* maximal writes and lets the application reconcile.
+Each write is tagged with a version vector; the partial order ``P`` is
+vector dominance, and the state is the antichain of causally maximal
+writes — exactly the ``M(P)`` composition of Appendix B/C.
+
+A local write reads the current antichain, takes the pointwise maximum
+of all visible vectors, bumps the local replica's entry, and installs a
+single tagged write that dominates everything seen — so sequential
+writes collapse to one value while concurrent writes coexist.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Hashable, Tuple
+
+from repro.crdt.base import Crdt
+from repro.lattice.maximals import MaxElements
+
+#: A tagged write: (version-vector as sorted (replica, counter) pairs, value).
+TaggedWrite = Tuple[Tuple[Tuple[Hashable, int], ...], Any]
+
+
+def _vector_of(write: TaggedWrite) -> dict:
+    return dict(write[0])
+
+
+def dominates(left: TaggedWrite, right: TaggedWrite) -> bool:
+    """Vector dominance: every entry of ``right`` is covered by ``left``.
+
+    Used as the partial order for the ``M(P)`` antichain.  Equal writes
+    dominate each other (the order is reflexive); incomparable vectors
+    (concurrent writes) dominate in neither direction.
+    """
+    lv, rv = _vector_of(left), _vector_of(right)
+    for replica, counter in rv.items():
+        if lv.get(replica, 0) < counter:
+            return False
+    return True
+
+
+def _freeze(vector: dict) -> Tuple[Tuple[Hashable, int], ...]:
+    return tuple(sorted(vector.items(), key=lambda kv: repr(kv[0])))
+
+
+class MVRegister(Crdt):
+    """A register that exposes every causally concurrent write.
+
+    >>> a, b = MVRegister("A"), MVRegister("B")
+    >>> _ = a.write("from-a"); _ = b.write("from-b")   # concurrent
+    >>> a.merge(b)
+    >>> sorted(a.values)
+    ['from-a', 'from-b']
+    >>> _ = a.write("resolved")                        # dominates both
+    >>> a.values
+    ['resolved']
+    """
+
+    __slots__ = ()
+
+    def __init__(self, replica: Hashable, state: MaxElements | None = None) -> None:
+        if state is None:
+            state = MaxElements((), dominates=dominates)
+        super().__init__(replica, state)
+
+    @staticmethod
+    def bottom() -> MaxElements:
+        """The empty antichain: no writes yet."""
+        return MaxElements((), dominates=dominates)
+
+    # ------------------------------------------------------------------
+    # Mutators.
+    # ------------------------------------------------------------------
+
+    def write(self, value: Any) -> MaxElements:
+        """Install ``value`` above everything currently visible."""
+        assert isinstance(self.state, MaxElements)
+        merged: dict = {}
+        for tagged in self.state:
+            for replica, counter in _vector_of(tagged).items():
+                merged[replica] = max(merged.get(replica, 0), counter)
+        merged[self.replica] = merged.get(self.replica, 0) + 1
+        tagged_write: TaggedWrite = (_freeze(merged), value)
+        delta = MaxElements((tagged_write,), dominates=dominates)
+        return self.apply_delta(delta)
+
+    # ------------------------------------------------------------------
+    # Queries.
+    # ------------------------------------------------------------------
+
+    @property
+    def values(self) -> list:
+        """All causally maximal values, sorted for determinism."""
+        return sorted((value for _, value in self.state), key=repr)
+
+    def __len__(self) -> int:
+        return len(self.state)

@@ -1,0 +1,91 @@
+"""Positive-negative counter — the Appendix C composition example.
+
+``PNCounter = I ↪→ (ℕ × ℕ)``: each replica entry pairs an increment
+tally with a decrement tally, composed with the cartesian product.  The
+counter value is the sum of increments minus the sum of decrements.
+
+Appendix C shows its decomposition splits each entry into separate
+increment and decrement irreducibles, e.g.::
+
+    ⇓{A ↦ ⟨2,3⟩, B ↦ ⟨5,5⟩} =
+        {{A ↦ ⟨2,0⟩}, {A ↦ ⟨0,3⟩}, {B ↦ ⟨5,0⟩}, {B ↦ ⟨0,5⟩}}
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Tuple
+
+from repro.crdt.base import Crdt
+from repro.lattice.map_lattice import MapLattice
+from repro.lattice.primitives import MaxInt
+from repro.lattice.product import PairLattice
+
+
+def _entry(inc: int, dec: int) -> PairLattice:
+    return PairLattice(MaxInt(inc), MaxInt(dec))
+
+
+class PNCounter(Crdt):
+    """A counter supporting increments and decrements.
+
+    >>> c = PNCounter("A")
+    >>> _ = c.increment(5); _ = c.decrement(2)
+    >>> c.value
+    3
+    """
+
+    __slots__ = ()
+
+    def __init__(self, replica: Hashable, state: MapLattice | None = None) -> None:
+        super().__init__(replica, state if state is not None else MapLattice())
+
+    @staticmethod
+    def bottom() -> MapLattice:
+        """The empty map ``⊥``."""
+        return MapLattice()
+
+    # ------------------------------------------------------------------
+    # Mutators.
+    # ------------------------------------------------------------------
+
+    def increment(self, by: int = 1) -> MapLattice:
+        """Raise the local increment tally; return the optimal delta."""
+        if by <= 0:
+            raise ValueError(f"increment must be positive, got {by}")
+        inc, dec = self._tallies(self.state)
+        delta = MapLattice({self.replica: _entry(inc + by, 0)})
+        return self.apply_delta(delta)
+
+    def decrement(self, by: int = 1) -> MapLattice:
+        """Raise the local decrement tally; return the optimal delta."""
+        if by <= 0:
+            raise ValueError(f"decrement must be positive, got {by}")
+        inc, dec = self._tallies(self.state)
+        delta = MapLattice({self.replica: _entry(0, dec + by)})
+        return self.apply_delta(delta)
+
+    # ------------------------------------------------------------------
+    # Queries.
+    # ------------------------------------------------------------------
+
+    @property
+    def value(self) -> int:
+        """Total increments minus total decrements, over all replicas."""
+        total = 0
+        for _, pair in self.state.items():
+            assert isinstance(pair, PairLattice)
+            total += pair.first.value - pair.second.value
+        return total
+
+    def tallies(self, replica: Hashable) -> Tuple[int, int]:
+        """The ``(increments, decrements)`` recorded for a replica."""
+        found = self.state.get(replica)
+        if not isinstance(found, PairLattice):
+            return (0, 0)
+        return (found.first.value, found.second.value)
+
+    def _tallies(self, state: MapLattice) -> Tuple[int, int]:
+        found = state.get(self.replica)
+        if not isinstance(found, PairLattice):
+            return (0, 0)
+        return (found.first.value, found.second.value)

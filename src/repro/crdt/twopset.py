@@ -1,0 +1,92 @@
+"""Two-phase set: a cartesian product of two grow-only sets.
+
+A classic CRDT composition example: the first component accumulates
+additions, the second accumulates removals (tombstones), and membership
+is "added and not removed".  A removed element can never be re-added —
+the removal tombstone dominates forever — which is precisely the
+product lattice's semantics.
+"""
+
+from __future__ import annotations
+
+from typing import AbstractSet, Hashable
+
+from repro.crdt.base import Crdt
+from repro.lattice.product import PairLattice
+from repro.lattice.set_lattice import SetLattice
+
+
+def _bottom() -> PairLattice:
+    return PairLattice(SetLattice(), SetLattice())
+
+
+class TwoPSet(Crdt):
+    """A set with permanent removals.
+
+    >>> s = TwoPSet("A")
+    >>> _ = s.add("x"); _ = s.add("y"); _ = s.remove("x")
+    >>> sorted(s.value)
+    ['y']
+    >>> "x" in s
+    False
+    """
+
+    __slots__ = ()
+
+    def __init__(self, replica: Hashable, state: PairLattice | None = None) -> None:
+        super().__init__(replica, state if state is not None else _bottom())
+
+    @staticmethod
+    def bottom() -> PairLattice:
+        """Two empty sets."""
+        return _bottom()
+
+    # ------------------------------------------------------------------
+    # Mutators.
+    # ------------------------------------------------------------------
+
+    def add(self, element: Hashable) -> PairLattice:
+        """Add ``element``; bottom delta if already added."""
+        assert isinstance(self.state, PairLattice)
+        adds = self.state.first
+        assert isinstance(adds, SetLattice)
+        if element in adds:
+            delta = self.state.bottom_like()
+        else:
+            delta = PairLattice(SetLattice((element,)), SetLattice())
+        return self.apply_delta(delta)
+
+    def remove(self, element: Hashable) -> PairLattice:
+        """Tombstone ``element``; requires it to have been added.
+
+        Removing a never-added element raises: 2P-set semantics only
+        allow removing observed elements.
+        """
+        assert isinstance(self.state, PairLattice)
+        adds, removes = self.state.first, self.state.second
+        assert isinstance(adds, SetLattice) and isinstance(removes, SetLattice)
+        if element not in adds:
+            raise KeyError(f"cannot remove {element!r}: never added")
+        if element in removes:
+            delta = self.state.bottom_like()
+        else:
+            delta = PairLattice(SetLattice(), SetLattice((element,)))
+        return self.apply_delta(delta)
+
+    # ------------------------------------------------------------------
+    # Queries.
+    # ------------------------------------------------------------------
+
+    @property
+    def value(self) -> AbstractSet[Hashable]:
+        """Added elements that are not tombstoned."""
+        assert isinstance(self.state, PairLattice)
+        adds, removes = self.state.first, self.state.second
+        assert isinstance(adds, SetLattice) and isinstance(removes, SetLattice)
+        return adds.elements - removes.elements
+
+    def __contains__(self, element: Hashable) -> bool:
+        return element in self.value
+
+    def __len__(self) -> int:
+        return len(self.value)

@@ -1,0 +1,51 @@
+"""Join-semilattice substrate for state-based CRDTs.
+
+This package implements the lattice theory that underpins the paper
+*Efficient Synchronization of State-based CRDTs* (Enes et al., ICDE 2019):
+
+* a :class:`~repro.lattice.base.Lattice` protocol for join-semilattice
+  values with a bottom element (Section II of the paper);
+* the primitive lattices and composition constructs of Appendix B
+  (chains, powersets, finite functions, products, lexicographic products,
+  linear sums, and sets of maximal elements);
+* irredundant join decompositions ``⇓x`` and the optimal delta function
+  ``∆(a, b)`` of Section III / Appendix C.
+
+All lattice values are immutable and hashable, so they can be shared
+freely between replicas, delta buffers, and message payloads.
+"""
+
+from repro.lattice.base import Lattice, join_all
+from repro.lattice.primitives import Bool, Chain, MaxInt
+from repro.lattice.set_lattice import SetLattice
+from repro.lattice.map_lattice import MapLattice
+from repro.lattice.product import PairLattice
+from repro.lattice.lexicographic import LexPair
+from repro.lattice.linear_sum import LinearSum
+from repro.lattice.maximals import MaxElements
+from repro.lattice.decompose import (
+    decomposition,
+    delta,
+    is_irredundant_decomposition,
+    is_join_decomposition,
+    is_join_irreducible,
+)
+
+__all__ = [
+    "Lattice",
+    "join_all",
+    "Bool",
+    "Chain",
+    "MaxInt",
+    "SetLattice",
+    "MapLattice",
+    "PairLattice",
+    "LexPair",
+    "LinearSum",
+    "MaxElements",
+    "decomposition",
+    "delta",
+    "is_join_decomposition",
+    "is_irredundant_decomposition",
+    "is_join_irreducible",
+]

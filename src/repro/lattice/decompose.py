@@ -1,0 +1,100 @@
+"""Join decompositions and the optimal delta function ``∆``.
+
+This module exposes the paper's Section III as standalone functions:
+
+* :func:`decomposition` — the unique irredundant join decomposition
+  ``⇓x`` (computed by each lattice's ``decompose`` per Appendix C);
+* :func:`delta` — the optimal delta ``∆(a, b)``, the least state that
+  joined with ``b`` yields ``a ⊔ b``;
+* :func:`is_join_irreducible`, :func:`is_join_decomposition`, and
+  :func:`is_irredundant_decomposition` — checkable definitions 1–3,
+  used extensively by the property-based test-suite.
+
+``delta`` simply dispatches to the lattice's own method so callers get
+the structurally recursive fast paths; the checker functions implement
+the definitions literally (and hence slowly) so tests can validate the
+fast paths against them.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, TypeVar
+
+from repro.lattice.base import Lattice, join_all
+
+L = TypeVar("L", bound=Lattice)
+
+
+def decomposition(state: L) -> List[L]:
+    """Return the irredundant join decomposition ``⇓state`` as a list.
+
+    The bottom element decomposes into the empty list; any other state
+    decomposes into one or more join-irreducibles whose join restores
+    the state (Definition 2 and Proposition 2 of the paper).
+    """
+    return list(state.decompose())
+
+
+def delta(a: L, b: L) -> L:
+    """The minimum delta between states: ``∆(a, b) = ⊔{y ∈ ⇓a | y ⋢ b}``.
+
+    Joined with ``b`` it yields ``a ⊔ b``, and it is the least such
+    state: for any ``c`` with ``c ⊔ b = a ⊔ b`` we have ``∆(a, b) ⊑ c``.
+
+    >>> from repro.lattice import SetLattice
+    >>> delta(SetLattice({"a", "b"}), SetLattice({"b", "c"}))
+    SetLattice({'a'})
+    """
+    return a.delta(b)
+
+
+def is_join_irreducible(state: L, candidates: Sequence[L] | None = None) -> bool:
+    """Definition 1, checked literally against a finite candidate pool.
+
+    A state ``x`` is join-irreducible if it cannot be produced as the
+    join of any finite set of states not containing ``x``.  For the
+    lattices in this library, it suffices to check the canonical
+    decomposition: ``x`` is join-irreducible iff ``⇓x = {x}``.  When
+    ``candidates`` is given, the definition is additionally verified
+    against every subset-free combination drawn from the pool (used by
+    tests on small lattices).
+    """
+    if state.is_bottom:
+        return False
+    parts = list(state.decompose())
+    canonical = len(parts) == 1 and parts[0] == state
+    if candidates is None:
+        return canonical
+    below = [c for c in candidates if c.leq(state) and c != state]
+    if not below:
+        return canonical
+    rejoined = join_all(below, state.bottom_like())
+    # x is join-reducible iff the join of everything strictly below it
+    # (within the pool) reaches x.
+    return canonical and rejoined != state
+
+
+def is_join_decomposition(parts: Iterable[L], state: L) -> bool:
+    """Definition 2: parts are join-irreducible and join back to ``state``."""
+    parts = list(parts)
+    if not all(is_join_irreducible(p) for p in parts):
+        return False
+    return join_all(parts, state.bottom_like()) == state
+
+
+def is_irredundant_decomposition(parts: Iterable[L], state: L) -> bool:
+    """Definition 3: a join decomposition with no removable element.
+
+    Removing any single element must strictly lower the join.  (For a
+    decomposition, checking single-element removals is equivalent to
+    checking all proper subsets.)
+    """
+    parts = list(parts)
+    if not is_join_decomposition(parts, state):
+        return False
+    bottom = state.bottom_like()
+    for index in range(len(parts)):
+        remainder = parts[:index] + parts[index + 1 :]
+        if join_all(remainder, bottom) == state:
+            return False
+    return True

@@ -1,0 +1,181 @@
+"""Finite functions ``U ↪→ L``: maps from keys to a value lattice.
+
+This construct builds the grow-only counter (``I ↪→ MaxInt``), the
+grow-only map of Table I, the PNCounter (``I ↪→ MaxInt × MaxInt``), and
+— in the network simulator — the whole replicated store of a node
+(object identifier ↪→ object state).
+
+Join is pointwise; a key absent from the map is implicitly bound to the
+value lattice's bottom.  Following Appendix C, the decomposition is
+
+    ⇓f = { {k ↦ v} | k ∈ dom(f), v ∈ ⇓f(k) }
+
+and the optimal delta recurses per key, dropping keys whose delta is
+bottom.  Bottom-valued bindings are never stored, so two maps are equal
+exactly when their stored bindings are equal.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Hashable, Iterator, Mapping, Tuple
+
+from repro.lattice.base import Lattice
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sizes import SizeModel
+
+
+class MapLattice(Lattice):
+    """An immutable map with pointwise lattice join, ``(U ↪→ L, ⊑, ⊔)``.
+
+    >>> from repro.lattice.primitives import MaxInt
+    >>> a = MapLattice({"A": MaxInt(2)})
+    >>> b = MapLattice({"A": MaxInt(1), "B": MaxInt(3)})
+    >>> a.join(b) == MapLattice({"A": MaxInt(2), "B": MaxInt(3)})
+    True
+
+    The constructor silently drops bottom-valued bindings to maintain the
+    canonical-form invariant.
+    """
+
+    __slots__ = ("entries", "_units_cache", "_bytes_cache")
+
+    def __init__(self, entries: Mapping[Hashable, Lattice] | None = None) -> None:
+        if entries:
+            cleaned = {k: v for k, v in entries.items() if not v.is_bottom}
+        else:
+            cleaned = {}
+        object.__setattr__(self, "entries", cleaned)
+        object.__setattr__(self, "_units_cache", None)
+        object.__setattr__(self, "_bytes_cache", None)
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError(f"{type(self).__name__} is immutable")
+
+    # ------------------------------------------------------------------
+    # Lattice protocol.
+    # ------------------------------------------------------------------
+
+    def join(self, other: "MapLattice") -> "MapLattice":
+        if not other.entries:
+            return self
+        if not self.entries:
+            return other
+        merged = dict(self.entries)
+        for key, value in other.entries.items():
+            mine = merged.get(key)
+            merged[key] = value if mine is None else mine.join(value)
+        result = MapLattice.__new__(MapLattice)
+        object.__setattr__(result, "entries", merged)
+        object.__setattr__(result, "_units_cache", None)
+        object.__setattr__(result, "_bytes_cache", None)
+        return result
+
+    def leq(self, other: "MapLattice") -> bool:
+        if len(self.entries) > len(other.entries):
+            return False
+        for key, value in self.entries.items():
+            theirs = other.entries.get(key)
+            if theirs is None or not value.leq(theirs):
+                return False
+        return True
+
+    def bottom_like(self) -> "MapLattice":
+        return _EMPTY
+
+    @property
+    def is_bottom(self) -> bool:
+        return not self.entries
+
+    def decompose(self) -> Iterator["MapLattice"]:
+        for key, value in self.entries.items():
+            for irreducible in value.decompose():
+                yield MapLattice({key: irreducible})
+
+    def delta(self, other: "MapLattice") -> "MapLattice":
+        out: dict[Hashable, Lattice] = {}
+        for key, value in self.entries.items():
+            theirs = other.entries.get(key)
+            if theirs is None:
+                out[key] = value
+            else:
+                diff = value.delta(theirs)
+                if not diff.is_bottom:
+                    out[key] = diff
+        if not out:
+            return _EMPTY
+        result = MapLattice.__new__(MapLattice)
+        object.__setattr__(result, "entries", out)
+        object.__setattr__(result, "_units_cache", None)
+        object.__setattr__(result, "_bytes_cache", None)
+        return result
+
+    def size_units(self) -> int:
+        # Values are immutable, so the count is computed at most once.
+        cached = self._units_cache
+        if cached is None:
+            cached = sum(value.size_units() for value in self.entries.values())
+            object.__setattr__(self, "_units_cache", cached)
+        return cached
+
+    def size_bytes(self, model: "SizeModel") -> int:
+        # Memoized per (instance, model); experiments use one model.
+        cached = self._bytes_cache
+        if cached is not None and cached[0] is model:
+            return cached[1]
+        total = 0
+        for key, value in self.entries.items():
+            total += model.sizeof(key) + value.size_bytes(model)
+        object.__setattr__(self, "_bytes_cache", (model, total))
+        return total
+
+    # ------------------------------------------------------------------
+    # Map conveniences.
+    # ------------------------------------------------------------------
+
+    def get(self, key: Hashable, default: Lattice | None = None) -> Lattice | None:
+        """Return the binding for ``key`` or ``default`` when absent."""
+        return self.entries.get(key, default)
+
+    def with_entry(self, key: Hashable, value: Lattice) -> "MapLattice":
+        """Return a copy with ``key`` bound to ``value`` (``p{k ↦ v}``)."""
+        if value.is_bottom:
+            if key not in self.entries:
+                return self
+            remaining = dict(self.entries)
+            del remaining[key]
+            return MapLattice(remaining)
+        updated = dict(self.entries)
+        updated[key] = value
+        result = MapLattice.__new__(MapLattice)
+        object.__setattr__(result, "entries", updated)
+        object.__setattr__(result, "_units_cache", None)
+        object.__setattr__(result, "_bytes_cache", None)
+        return result
+
+    def keys(self) -> Iterator[Hashable]:
+        return iter(self.entries.keys())
+
+    def items(self) -> Iterator[Tuple[Hashable, Lattice]]:
+        return iter(self.entries.items())
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self.entries
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, MapLattice) and self.entries == other.entries
+
+    def __hash__(self) -> int:
+        return hash((MapLattice, frozenset(self.entries.items())))
+
+    def __repr__(self) -> str:
+        inner = ", ".join(
+            f"{key!r}: {value!r}" for key, value in sorted(self.entries.items(), key=lambda kv: repr(kv[0]))
+        )
+        return f"MapLattice({{{inner}}})"
+
+
+_EMPTY = MapLattice()

@@ -1,0 +1,261 @@
+"""The simulated cluster: nodes, links, timers, and delivery.
+
+Reproduces the paper's experimental harness (Section V-A/B): every node
+holds one replica behind a synchronization protocol, applies workload
+updates, and synchronizes with its overlay neighbours once per interval
+(the paper uses one second).  Link latency is small relative to the
+interval, so a message sent in round *k* — and any replies it triggers,
+such as Scuttlebutt's delta responses — is processed well before round
+*k+1* begins, exactly as in the paper's deployment.
+
+The cluster is event-driven and fully deterministic: node timers are
+staggered by a microscopic offset so "simultaneous" ticks have a stable
+order, and message delivery preserves per-link FIFO.  After the
+workload's update rounds finish, the cluster keeps running
+synchronization-only *drain* rounds until every replica holds the same
+state (global convergence), which is the cross-algorithm comparison
+point for total transmission.
+"""
+
+from __future__ import annotations
+
+import random
+import time as _time
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence
+
+from repro.lattice.base import Lattice
+from repro.sim.events import EventQueue
+from repro.sim.metrics import MemorySample, MessageRecord, MetricsCollector
+from repro.sizes import SizeModel, DEFAULT_SIZE_MODEL
+from repro.sim.topology import Topology
+from repro.sync.protocol import DeltaMutator, Message, Send, Synchronizer
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """Simulation parameters.
+
+    Attributes:
+        topology: The overlay graph (Figure 6).
+        sync_interval_ms: Period of each node's synchronization timer;
+            the paper synchronizes every second.
+        latency_ms: One-way link latency; must be well below the
+            interval (the paper's cluster had sub-millisecond LAN
+            latency against a 1 s interval).
+        size_model: Byte accounting model.
+        max_drain_rounds: Safety cap on synchronization-only rounds run
+            after the workload ends while waiting for convergence.
+    """
+
+    topology: Topology
+    sync_interval_ms: float = 1000.0
+    latency_ms: float = 25.0
+    size_model: SizeModel = DEFAULT_SIZE_MODEL
+    max_drain_rounds: int = 200
+    #: Probability that any message is silently dropped in transit.
+    #: The paper's Algorithm 1 assumes 0; the acked variant
+    #: (:class:`repro.sync.reliable.DeltaBasedAcked`) tolerates > 0.
+    loss_rate: float = 0.0
+    #: Seed for the (deterministic) loss coin flips.
+    loss_seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.latency_ms * 2 >= self.sync_interval_ms:
+            raise ValueError(
+                "round-trip latency must fit inside the sync interval: "
+                f"{self.latency_ms}ms vs {self.sync_interval_ms}ms"
+            )
+
+
+class Cluster:
+    """A set of replicas synchronizing over a topology."""
+
+    def __init__(
+        self,
+        config: ClusterConfig,
+        factory: Callable[..., Synchronizer],
+        bottom: Lattice,
+    ) -> None:
+        self.config = config
+        self.topology = config.topology
+        self.nodes: List[Synchronizer] = [
+            factory(
+                node,
+                config.topology.neighbors(node),
+                bottom,
+                config.topology.n,
+                config.size_model,
+            )
+            for node in range(config.topology.n)
+        ]
+        self.metrics = MetricsCollector(config.topology.n)
+        self.queue = EventQueue()
+        self._round = 0
+        self._loss_rng = random.Random(config.loss_seed)
+        self.messages_dropped = 0
+
+    # ------------------------------------------------------------------
+    # Driving the simulation.
+    # ------------------------------------------------------------------
+
+    def apply_update(self, node: int, delta_mutator: DeltaMutator) -> Lattice:
+        """Run one workload update on ``node``, with cost accounting."""
+        synchronizer = self.nodes[node]
+        started = _time.perf_counter()
+        delta = synchronizer.local_update(delta_mutator)
+        elapsed = _time.perf_counter() - started
+        self.metrics.record_processing(node, delta.size_units(), elapsed)
+        return delta
+
+    def run_round(
+        self,
+        updates: Optional[Callable[[int], Sequence[DeltaMutator]]] = None,
+    ) -> None:
+        """Run one full round: updates, sync tick, delivery, sampling.
+
+        ``updates`` maps a node index to the δ-mutators it applies this
+        round (``None`` for a synchronization-only drain round).
+        """
+        base = self._round * self.config.sync_interval_ms
+        stagger = 1e-3
+
+        if updates is not None:
+            for node in range(self.topology.n):
+                mutators = updates(node)
+                if not mutators:
+                    continue
+                self.queue.schedule(
+                    base + node * stagger,
+                    self._update_action,
+                    payload=(node, tuple(mutators)),
+                )
+
+        sync_at = base + self.config.sync_interval_ms / 2
+        for node in range(self.topology.n):
+            self.queue.schedule(sync_at + node * stagger, self._sync_action, payload=node)
+
+        end_of_round = base + self.config.sync_interval_ms - stagger
+        self.queue.run(until=end_of_round)
+        self._sample_memory(end_of_round)
+        self._round += 1
+
+    def run_rounds(
+        self,
+        rounds: int,
+        updates_for: Callable[[int, int], Sequence[DeltaMutator]],
+    ) -> None:
+        """Run ``rounds`` update rounds; ``updates_for(round, node)``."""
+        for round_index in range(rounds):
+            self.run_round(lambda node, r=round_index: updates_for(r, node))
+
+    def drain(self) -> int:
+        """Run sync-only rounds until global convergence; return count.
+
+        Raises ``RuntimeError`` if convergence is not reached within the
+        configured cap — that would indicate a protocol bug, and hiding
+        it would corrupt every downstream measurement.
+        """
+        for extra in range(self.config.max_drain_rounds):
+            if self.converged():
+                return extra
+            self.run_round(updates=None)
+        if not self.converged():
+            raise RuntimeError(
+                f"no convergence after {self.config.max_drain_rounds} drain rounds "
+                f"({type(self.nodes[0]).__name__})"
+            )
+        return self.config.max_drain_rounds
+
+    def converged(self) -> bool:
+        """True when every replica holds the same lattice state."""
+        first = self.nodes[0].state
+        return all(node.state == first for node in self.nodes[1:])
+
+    @property
+    def rounds_run(self) -> int:
+        return self._round
+
+    @property
+    def now(self) -> float:
+        return self.queue.now
+
+    # ------------------------------------------------------------------
+    # Event actions.
+    # ------------------------------------------------------------------
+
+    def _update_action(self, event) -> None:
+        node, mutators = event.payload
+        for mutator in mutators:
+            self.apply_update(node, mutator)
+
+    def _sync_action(self, event) -> None:
+        node: int = event.payload
+        synchronizer = self.nodes[node]
+        started = _time.perf_counter()
+        sends = synchronizer.sync_messages()
+        elapsed = _time.perf_counter() - started
+        produced = sum(send.message.payload_units for send in sends)
+        self.metrics.record_processing(node, produced, elapsed)
+        self._dispatch(node, sends)
+
+    def _deliver_action(self, event) -> None:
+        src, dst, message = event.payload
+        synchronizer = self.nodes[dst]
+        started = _time.perf_counter()
+        replies = synchronizer.handle_message(src, message)
+        elapsed = _time.perf_counter() - started
+        self.metrics.record_processing(dst, message.payload_units, elapsed)
+        self._dispatch(dst, replies)
+
+    def _dispatch(self, src: int, sends: Sequence[Send]) -> None:
+        """Record and schedule delivery of outbound messages."""
+        for send in sends:
+            if send.dst not in self.nodes[src].neighbors:
+                raise ValueError(
+                    f"node {src} attempted to message non-neighbour {send.dst}"
+                )
+            self.metrics.record_message(
+                MessageRecord(
+                    time=self.queue.now,
+                    src=src,
+                    dst=send.dst,
+                    kind=send.message.kind,
+                    payload_units=send.message.payload_units,
+                    payload_bytes=send.message.payload_bytes,
+                    metadata_bytes=send.message.metadata_bytes,
+                    metadata_units=send.message.metadata_units,
+                )
+            )
+            if (
+                self.config.loss_rate > 0.0
+                and self._loss_rng.random() < self.config.loss_rate
+            ):
+                # The message was transmitted (and counted) but the
+                # network ate it.
+                self.messages_dropped += 1
+                continue
+            self.queue.schedule_in(
+                self.config.latency_ms,
+                self._deliver_action,
+                payload=(src, send.dst, send.message),
+            )
+
+    # ------------------------------------------------------------------
+    # Sampling.
+    # ------------------------------------------------------------------
+
+    def _sample_memory(self, at: float) -> None:
+        for index, node in enumerate(self.nodes):
+            self.metrics.record_memory(
+                MemorySample(
+                    time=at,
+                    node=index,
+                    state_units=node.state_units(),
+                    buffer_units=node.buffer_units(),
+                    state_bytes=node.state_bytes(),
+                    buffer_bytes=node.buffer_bytes(),
+                    metadata_bytes=node.metadata_bytes(),
+                    metadata_units=node.metadata_units(),
+                )
+            )

@@ -1,0 +1,10 @@
+"""Compatibility re-export: the size model lives in :mod:`repro.sizes`.
+
+Byte accounting is used by the lattice layer and the synchronization
+protocols as well as the simulator, so the implementation sits at the
+package root; this alias keeps simulator-centric imports working.
+"""
+
+from repro.sizes import DEFAULT_SIZE_MODEL, SizeModel
+
+__all__ = ["SizeModel", "DEFAULT_SIZE_MODEL"]

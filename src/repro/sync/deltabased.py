@@ -1,0 +1,200 @@
+"""Delta-based synchronization — Algorithm 1 of the paper, all variants.
+
+The classic algorithm (Almeida et al. 2015/2018) keeps a δ-buffer of
+deltas produced locally or received from neighbours; each sync step
+joins the whole buffer into one δ-group per neighbour, sends it, and
+clears the buffer.  A received δ-group is added to the buffer whenever
+it *inflates* the local state (line 16) — and that harmless-looking
+check is the source of most redundant transmission the paper measures:
+a δ-group almost always contains *something* new, so almost everything
+gets re-buffered and re-sent wholesale.
+
+The two optimizations (Section IV), each independently toggleable:
+
+* **BP — avoid back-propagation of δ-groups.**  Buffer entries are
+  tagged with the neighbour they came from (local updates are tagged
+  with the replica itself); the δ-group sent to neighbour ``j`` skips
+  entries tagged ``j``.  Sufficient on its own in cycle-free topologies.
+
+* **RR — remove redundant state in received δ-groups.**  Instead of the
+  inflation check, extract from the received δ-group exactly the part
+  that strictly inflates the local state — ``∆(d, xᵢ)``, computed from
+  the join decomposition (Section III) — and buffer only that.  This is
+  what rescues topologies with cycles, where the same state reaches a
+  node along multiple paths.
+
+Following the paper's presentation, channels are assumed reliable (no
+drops; duplication and reordering are fine), so the buffer is cleared
+after each synchronization step.  The sequence-number-and-ack extension
+for lossy channels is discussed in the paper's Section IV and accounted
+for here as one sequence number of metadata per message.
+"""
+
+from __future__ import annotations
+
+from functools import partial
+from typing import List, Sequence, Tuple
+
+from repro.lattice.base import Lattice
+from repro.sizes import SizeModel, DEFAULT_SIZE_MODEL
+from repro.sync.protocol import DeltaMutator, Message, Send, Synchronizer
+
+
+class DeltaBased(Synchronizer):
+    """Algorithm 1 at one replica, with BP and RR switches.
+
+    Args:
+        bp: Enable avoid-back-propagation (tagged buffer entries).
+        rr: Enable remove-redundant-state (``∆`` extraction on receive).
+
+    The four paper configurations are ``DeltaBased`` (classic),
+    ``bp=True``, ``rr=True``, and ``bp=True, rr=True``; module-level
+    factories :func:`classic`, :func:`delta_bp`, :func:`delta_rr` and
+    :func:`delta_bp_rr` bind the flags and the paper's plot labels.
+    """
+
+    name = "delta-based"
+
+    def __init__(
+        self,
+        replica: int,
+        neighbors: Sequence[int],
+        bottom: Lattice,
+        n_nodes: int,
+        size_model: SizeModel = DEFAULT_SIZE_MODEL,
+        *,
+        bp: bool = False,
+        rr: bool = False,
+    ) -> None:
+        super().__init__(replica, neighbors, bottom, n_nodes, size_model)
+        self.bp = bp
+        self.rr = rr
+        #: The δ-buffer ``Bᵢ``: (δ-group, origin) pairs — Algorithm 1 line 5.
+        #: Classic mode simply ignores the origin tag when sending.
+        self.buffer: List[Tuple[Lattice, int]] = []
+        self._sequence = 0
+
+    # ------------------------------------------------------------------
+    # Algorithm 1, line 6-8: on operationᵢ(mδ).
+    # ------------------------------------------------------------------
+
+    def local_update(self, delta_mutator: DeltaMutator) -> Lattice:
+        delta = delta_mutator(self.state)
+        if not delta.is_bottom:
+            self._store(delta, self.replica)
+        return delta
+
+    # ------------------------------------------------------------------
+    # Algorithm 1, line 9-13: periodic synchronization.
+    # ------------------------------------------------------------------
+
+    def sync_messages(self) -> List[Send]:
+        """Join the buffer into one δ-group per neighbour and clear it.
+
+        With BP enabled, entries tagged with the destination are
+        filtered out (line 11, right-hand variant); classic joins the
+        whole buffer for everyone.
+        """
+        sends: List[Send] = []
+        for neighbor in self.neighbors:
+            group = self.bottom
+            for delta, origin in self.buffer:
+                if self.bp and origin == neighbor:
+                    continue
+                group = group.join(delta)
+            if group.is_bottom:
+                continue
+            units, payload_bytes = self._payload_sizes(group)
+            self._sequence += 1
+            sends.append(
+                Send(
+                    dst=neighbor,
+                    message=Message(
+                        kind="delta",
+                        payload=group,
+                        payload_units=units,
+                        payload_bytes=payload_bytes,
+                        metadata_bytes=self.size_model.int_bytes,
+                        metadata_units=1,
+                    ),
+                )
+            )
+        self.buffer.clear()
+        return sends
+
+    # ------------------------------------------------------------------
+    # Algorithm 1, line 14-17: on receive.
+    # ------------------------------------------------------------------
+
+    def handle_message(self, src: int, message: Message) -> List[Send]:
+        received: Lattice = message.payload
+        if self.rr:
+            # Line 15: d = ∆(d, xᵢ) — keep only what strictly inflates.
+            extracted = received.delta(self.state)
+            # Line 16 (RR): if d ≠ ⊥.
+            if not extracted.is_bottom:
+                self._store(extracted, src)
+        else:
+            # Line 16 (classic): if d ⋢ xᵢ — the naive inflation check.
+            if received.inflates(self.state):
+                self._store(received, src)
+        return []
+
+    # ------------------------------------------------------------------
+    # Algorithm 1, line 18-20: store(s, o).
+    # ------------------------------------------------------------------
+
+    def _store(self, delta: Lattice, origin: int) -> None:
+        self.state = self.state.join(delta)
+        self.buffer.append((delta, origin))
+
+    # ------------------------------------------------------------------
+    # Memory accounting.
+    # ------------------------------------------------------------------
+
+    def buffer_units(self) -> int:
+        return sum(delta.size_units() for delta, _ in self.buffer)
+
+    def buffer_bytes(self) -> int:
+        return sum(delta.size_bytes(self.size_model) for delta, _ in self.buffer)
+
+    def metadata_bytes(self) -> int:
+        """Origin tags on buffer entries (BP) plus one seq per neighbour."""
+        tags = len(self.buffer) * self.size_model.id_bytes if self.bp else 0
+        acks = len(self.neighbors) * self.size_model.int_bytes
+        return tags + acks
+
+    def metadata_units(self) -> int:
+        """One entry per origin tag (BP) plus one seq per neighbour."""
+        tags = len(self.buffer) if self.bp else 0
+        return tags + len(self.neighbors)
+
+
+def _make(label: str, bp: bool, rr: bool):
+    """Build a named factory with the flags bound, for the registry."""
+
+    def factory(
+        replica: int,
+        neighbors: Sequence[int],
+        bottom: Lattice,
+        n_nodes: int,
+        size_model: SizeModel = DEFAULT_SIZE_MODEL,
+    ) -> DeltaBased:
+        synchronizer = DeltaBased(
+            replica, neighbors, bottom, n_nodes, size_model, bp=bp, rr=rr
+        )
+        return synchronizer
+
+    factory.__name__ = label.replace("-", "_")
+    factory.name = label  # type: ignore[attr-defined]
+    return factory
+
+
+#: Classic delta-based synchronization (no optimizations).
+classic = _make("delta-based", bp=False, rr=False)
+#: Delta-based with avoid-back-propagation only.
+delta_bp = _make("delta-based-bp", bp=True, rr=False)
+#: Delta-based with remove-redundant-state only.
+delta_rr = _make("delta-based-rr", bp=False, rr=True)
+#: Delta-based with both optimizations — the paper's best configuration.
+delta_bp_rr = _make("delta-based-bp-rr", bp=True, rr=True)

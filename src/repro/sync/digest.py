@@ -1,0 +1,133 @@
+"""Pairwise state-driven and digest-driven synchronization.
+
+Section VI of the paper situates its contribution next to two pairwise
+protocols the same authors proposed for synchronizing replicas after a
+network partition (Enes et al., PMLDC@ECOOP 2016), both of which also
+exploit join decompositions:
+
+* **state-driven**: A sends its full state to B; B joins it, computes
+  the optimal delta ``∆(x_B, x_A)`` covering what A missed, and sends it
+  back.  Convergence in 2 messages, but the first one is a full state.
+
+* **digest-driven**: A sends only a *digest* of its state — enough for
+  B to decide which of its own irreducibles A is missing; B replies
+  with that delta plus a digest of its own state, and A answers with
+  the delta B misses.  Convergence in 3 messages, none of which carries
+  a full state.
+
+The digest implemented here is the set of collision-resistant 8-byte
+fingerprints of the state's join decomposition: ``{h(r) | r ∈ ⇓x}``.
+A peer computes the exact delta by keeping the irreducibles whose
+fingerprint the digest lacks.  Digests are therefore proportional to
+the *number* of irreducibles, not their size — a large win when
+elements are big (tweets) and states mostly overlap.
+
+These functions operate directly on two replicas' states and report
+the bytes each strategy moved, which the partition-recovery example and
+the ablation benchmarks use.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import FrozenSet
+
+from repro.lattice.base import Lattice
+from repro.sizes import SizeModel, DEFAULT_SIZE_MODEL
+
+#: Bytes per digest fingerprint.
+FINGERPRINT_BYTES = 8
+
+
+def fingerprint(irreducible: Lattice) -> bytes:
+    """A stable 8-byte fingerprint of a join-irreducible state.
+
+    Uses BLAKE2b over the canonical ``repr`` (reprs in this library sort
+    their contents, so equal values always print identically), which is
+    deterministic across processes — unlike built-in ``hash`` under
+    string-hash randomization.
+    """
+    return hashlib.blake2b(repr(irreducible).encode("utf-8"), digest_size=FINGERPRINT_BYTES).digest()
+
+
+def digest_of(state: Lattice) -> FrozenSet[bytes]:
+    """The digest of a state: fingerprints of its decomposition."""
+    return frozenset(fingerprint(r) for r in state.decompose())
+
+
+def delta_against_digest(state: Lattice, remote_digest: FrozenSet[bytes]) -> Lattice:
+    """Join of the irreducibles of ``state`` the digest does not cover."""
+    acc = state.bottom_like()
+    for irreducible in state.decompose():
+        if fingerprint(irreducible) not in remote_digest:
+            acc = acc.join(irreducible)
+    return acc
+
+
+@dataclass(frozen=True)
+class DigestExchange:
+    """Outcome of a pairwise synchronization: traffic and convergence.
+
+    Attributes:
+        strategy: ``"full"``, ``"state-driven"``, or ``"digest-driven"``.
+        messages: Number of messages exchanged.
+        bytes_sent: Total bytes moved (payload plus digests).
+        converged_state: The common state both replicas hold afterwards.
+    """
+
+    strategy: str
+    messages: int
+    bytes_sent: int
+    converged_state: Lattice
+
+
+def full_state_sync(
+    state_a: Lattice, state_b: Lattice, model: SizeModel = DEFAULT_SIZE_MODEL
+) -> DigestExchange:
+    """Baseline: bidirectional full-state exchange (2 full states)."""
+    joined = state_a.join(state_b)
+    traffic = state_a.size_bytes(model) + state_b.size_bytes(model)
+    return DigestExchange("full", messages=2, bytes_sent=traffic, converged_state=joined)
+
+
+def state_driven_sync(
+    state_a: Lattice, state_b: Lattice, model: SizeModel = DEFAULT_SIZE_MODEL
+) -> DigestExchange:
+    """A ships its state; B replies with the optimal missing delta."""
+    # Message 1: A → B, full state.
+    first = state_a.size_bytes(model)
+    b_after = state_b.join(state_a)
+    # Message 2: B → A, ∆(x_B, x_A) — exactly what A lacks.
+    back = state_b.delta(state_a)
+    second = back.size_bytes(model)
+    a_after = state_a.join(back)
+    assert a_after == b_after, "state-driven sync must converge"
+    return DigestExchange(
+        "state-driven", messages=2, bytes_sent=first + second, converged_state=a_after
+    )
+
+
+def digest_driven_sync(
+    state_a: Lattice, state_b: Lattice, model: SizeModel = DEFAULT_SIZE_MODEL
+) -> DigestExchange:
+    """Three-way sync where no message carries a full state."""
+    # Message 1: A → B, digest of A.
+    digest_a = digest_of(state_a)
+    first = len(digest_a) * FINGERPRINT_BYTES
+    # Message 2: B → A, the delta A misses plus B's digest.
+    delta_for_a = delta_against_digest(state_b, digest_a)
+    digest_b = digest_of(state_b)
+    second = delta_for_a.size_bytes(model) + len(digest_b) * FINGERPRINT_BYTES
+    a_after = state_a.join(delta_for_a)
+    # Message 3: A → B, the delta B misses.
+    delta_for_b = delta_against_digest(state_a, digest_b)
+    third = delta_for_b.size_bytes(model)
+    b_after = state_b.join(delta_for_b)
+    assert a_after == b_after, "digest-driven sync must converge"
+    return DigestExchange(
+        "digest-driven",
+        messages=3,
+        bytes_sent=first + second + third,
+        converged_state=a_after,
+    )

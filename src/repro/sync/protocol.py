@@ -1,0 +1,191 @@
+"""The synchronizer interface shared by every protocol.
+
+A :class:`Synchronizer` is one replica's view of a synchronization
+protocol.  The network simulator drives it through three entry points:
+
+* :meth:`~Synchronizer.local_update` — the application performed an
+  update operation on the replicated object;
+* :meth:`~Synchronizer.sync_messages` — the periodic synchronization
+  timer fired; return the messages to push to neighbours;
+* :meth:`~Synchronizer.handle_message` — a message arrived; return any
+  immediate replies (pull-based protocols answer digests here).
+
+Updates arrive as *δ-mutator closures*: callables from the current
+lattice state to the optimal delta of the mutation (Section III-B).
+Every protocol consumes the same closure —
+
+* state-based joins the delta and ships full states,
+* delta-based joins it and also buffers it,
+* Scuttlebutt stores it under a fresh version,
+* op-based wraps it in a causally-tagged envelope —
+
+so a single workload definition drives all protocols identically, which
+is what makes the paper's cross-algorithm comparisons meaningful.
+
+Messages carry explicit size accounting (payload units, payload bytes,
+metadata bytes) because the evaluation measures exactly those three
+quantities (Sections V-B.1, V-B.2).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Any, Callable, ClassVar, List, Sequence
+
+from repro.lattice.base import Lattice
+from repro.sizes import SizeModel, DEFAULT_SIZE_MODEL
+
+#: A δ-mutator closure: current state → optimal delta to join in.
+DeltaMutator = Callable[[Lattice], Lattice]
+
+
+@dataclass(frozen=True)
+class Message:
+    """A protocol message with explicit size accounting.
+
+    Attributes:
+        kind: Protocol-specific discriminator (``"state"``, ``"delta"``,
+            ``"digest"``, ``"deltas"``, ``"ops"``).
+        payload: Protocol-specific content.
+        payload_units: Payload size in the paper's unit metric (set
+            elements / map entries); metadata does not count.
+        payload_bytes: Payload size in bytes under the size model.
+        metadata_bytes: Synchronization metadata in bytes — version
+            vectors, version keys, sequence numbers, knowledge matrices.
+        metadata_units: The same metadata in the paper's entry metric
+            (one unit per vector/matrix entry or version key).  The
+            Figure 7/8 transmission plots count these entries alongside
+            the payload, which is how Scuttlebutt and op-based lose to
+            state-based on the GCounter despite precise payloads.
+    """
+
+    kind: str
+    payload: Any
+    payload_units: int
+    payload_bytes: int
+    metadata_bytes: int
+    metadata_units: int = 0
+
+    @property
+    def total_bytes(self) -> int:
+        """Payload plus metadata — what actually crosses the wire."""
+        return self.payload_bytes + self.metadata_bytes
+
+    @property
+    def total_units(self) -> int:
+        """Payload plus metadata in the entry metric."""
+        return self.payload_units + self.metadata_units
+
+
+@dataclass(frozen=True)
+class Send:
+    """An outbound message addressed to a neighbour."""
+
+    dst: int
+    message: Message
+
+
+class Synchronizer(ABC):
+    """One replica's instance of a synchronization protocol.
+
+    Subclasses set :attr:`name` to the label used in the paper's plots
+    and implement the three event handlers plus memory accounting.
+
+    Args:
+        replica: This replica's index in ``0..n_nodes-1``.
+        neighbors: Indices of the replicas this node may talk to.
+        bottom: The bottom element of the replicated lattice; the
+            initial state of every replica.
+        n_nodes: Total number of replicas (vector-based protocols size
+            their metadata with it).
+        size_model: Byte-size model for payload/metadata accounting.
+    """
+
+    name: ClassVar[str] = "abstract"
+
+    def __init__(
+        self,
+        replica: int,
+        neighbors: Sequence[int],
+        bottom: Lattice,
+        n_nodes: int,
+        size_model: SizeModel = DEFAULT_SIZE_MODEL,
+    ) -> None:
+        self.replica = replica
+        self.neighbors = tuple(neighbors)
+        self.state = bottom
+        self.bottom = bottom
+        self.n_nodes = n_nodes
+        self.size_model = size_model
+
+    # ------------------------------------------------------------------
+    # Event handlers driven by the simulator.
+    # ------------------------------------------------------------------
+
+    @abstractmethod
+    def local_update(self, delta_mutator: DeltaMutator) -> Lattice:
+        """Apply an update operation locally; return the delta produced."""
+
+    @abstractmethod
+    def sync_messages(self) -> List[Send]:
+        """The periodic synchronization step (one timer tick)."""
+
+    @abstractmethod
+    def handle_message(self, src: int, message: Message) -> List[Send]:
+        """Process an incoming message; return immediate replies."""
+
+    # ------------------------------------------------------------------
+    # Memory accounting (Section V-B.3).
+    # ------------------------------------------------------------------
+
+    def state_units(self) -> int:
+        """CRDT state size in the unit metric."""
+        return self.state.size_units()
+
+    def state_bytes(self) -> int:
+        """CRDT state size in bytes."""
+        return self.state.size_bytes(self.size_model)
+
+    @abstractmethod
+    def buffer_units(self) -> int:
+        """Synchronization payload retained in memory, in units.
+
+        The δ-buffer for delta-based, the delta store for Scuttlebutt,
+        the transmission buffer for op-based; zero for state-based.
+        """
+
+    @abstractmethod
+    def metadata_bytes(self) -> int:
+        """Synchronization metadata retained in memory, in bytes."""
+
+    @abstractmethod
+    def metadata_units(self) -> int:
+        """Resident synchronization metadata in the entry metric."""
+
+    def memory_units(self) -> int:
+        """Total resident units: state, buffered payload, metadata."""
+        return self.state_units() + self.buffer_units() + self.metadata_units()
+
+    def memory_bytes(self) -> int:
+        """Total resident bytes: state, buffered payload, and metadata."""
+        return self.state_bytes() + self.buffer_bytes() + self.metadata_bytes()
+
+    @abstractmethod
+    def buffer_bytes(self) -> int:
+        """Byte size of the buffered synchronization payload."""
+
+    # ------------------------------------------------------------------
+    # Helpers shared by subclasses.
+    # ------------------------------------------------------------------
+
+    def _payload_sizes(self, value: Lattice) -> tuple[int, int]:
+        """(units, bytes) of a lattice payload under the size model."""
+        return value.size_units(), value.size_bytes(self.size_model)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(replica={self.replica})"
+
+
+#: A callable building a synchronizer for one node of a cluster.
+SynchronizerFactory = Callable[[int, Sequence[int], Lattice, int, SizeModel], Synchronizer]

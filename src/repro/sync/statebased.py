@@ -1,0 +1,66 @@
+"""State-based synchronization: periodic full-state push (Section II).
+
+Each replica applies updates locally and periodically sends its *entire*
+lattice state to every neighbour; receivers join it into their own
+state.  Tolerant of message loss, duplication, and reordering — and
+maximally wasteful of bandwidth as the state grows, which is the
+pathology the paper's Figure 1 demonstrates and delta-based
+synchronization was invented to fix.
+
+State-based needs no synchronization metadata at all, which is why the
+paper treats it as the memory-footprint optimum in Figure 10.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.lattice.base import Lattice
+from repro.sync.protocol import DeltaMutator, Message, Send, Synchronizer
+
+
+class StateBased(Synchronizer):
+    """Full-state periodic synchronization."""
+
+    name = "state-based"
+
+    def local_update(self, delta_mutator: DeltaMutator) -> Lattice:
+        delta = delta_mutator(self.state)
+        self.state = self.state.join(delta)
+        return delta
+
+    def sync_messages(self) -> List[Send]:
+        """Push the full local state to every neighbour."""
+        if self.state.is_bottom:
+            return []
+        units, payload_bytes = self._payload_sizes(self.state)
+        message = Message(
+            kind="state",
+            payload=self.state,
+            payload_units=units,
+            payload_bytes=payload_bytes,
+            metadata_bytes=0,
+        )
+        return [Send(dst=neighbor, message=message) for neighbor in self.neighbors]
+
+    def handle_message(self, src: int, message: Message) -> List[Send]:
+        """Join the received full state; nothing to reply."""
+        received = message.payload
+        self.state = self.state.join(received)
+        return []
+
+    # ------------------------------------------------------------------
+    # Memory accounting: no buffers, no metadata.
+    # ------------------------------------------------------------------
+
+    def buffer_units(self) -> int:
+        return 0
+
+    def buffer_bytes(self) -> int:
+        return 0
+
+    def metadata_bytes(self) -> int:
+        return 0
+
+    def metadata_units(self) -> int:
+        return 0

@@ -1,0 +1,37 @@
+"""Workload generators driving the evaluation.
+
+* :mod:`repro.workloads.micro` — the Table I micro-benchmarks
+  (GCounter single increments, GSet unique-element additions, and
+  GMap K% key refreshes over 1000 keys);
+* :mod:`repro.workloads.zipf` — the Zipf object-contention sampler used
+  by the Retwis runs (coefficients 0.5–1.5, Section V-C);
+* :mod:`repro.workloads.retwis` — the Retwis Twitter-clone application
+  workload of Table II (Follow 15 %, Post 35 %, Timeline 50 %);
+* :mod:`repro.workloads.causal` — add/remove churn over causal CRDTs,
+  the Appendix B evaluation substrate.
+"""
+
+from repro.workloads.base import Workload
+from repro.workloads.causal import AWSetChurnWorkload
+from repro.workloads.micro import (
+    GCounterWorkload,
+    GMapWorkload,
+    GSetWorkload,
+    MICRO_BENCHMARKS,
+    make_micro_workload,
+)
+from repro.workloads.zipf import ZipfSampler
+from repro.workloads.retwis import RetwisWorkload, RetwisStats
+
+__all__ = [
+    "Workload",
+    "AWSetChurnWorkload",
+    "GCounterWorkload",
+    "GSetWorkload",
+    "GMapWorkload",
+    "MICRO_BENCHMARKS",
+    "make_micro_workload",
+    "ZipfSampler",
+    "RetwisWorkload",
+    "RetwisStats",
+]

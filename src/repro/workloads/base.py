@@ -1,0 +1,64 @@
+"""The workload interface consumed by the experiment runner.
+
+A workload owns the *update schedule* of an experiment: which node
+applies which δ-mutators in which round.  Schedules are deterministic —
+pre-generated from a seed at construction — so that every algorithm in
+a comparison sweep replays exactly the same operations, which is what
+makes the paper's cross-algorithm ratios meaningful.
+
+Updates are δ-mutator closures (state → optimal delta).  They receive
+the *local replica's* state when applied, so application-level logic
+(such as Retwis reading an author's follower set before fanning out a
+tweet) naturally sees the executing node's current view, like a client
+attached to that replica would.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Callable, Sequence
+
+from repro.lattice.base import Lattice
+
+#: A δ-mutator closure: current state → optimal delta.
+DeltaMutator = Callable[[Lattice], Lattice]
+
+
+class Workload(ABC):
+    """A deterministic update schedule over a cluster of replicas.
+
+    Attributes:
+        name: Label used in experiment reports (e.g. ``"gmap-30"``).
+        rounds: Number of update rounds — the paper uses 100 events per
+            replica for the micro-benchmarks.
+        n_nodes: Number of replicas the schedule was generated for.
+    """
+
+    name: str = "abstract"
+
+    def __init__(self, n_nodes: int, rounds: int) -> None:
+        if n_nodes < 1:
+            raise ValueError("a workload needs at least one node")
+        if rounds < 0:
+            raise ValueError("rounds must be non-negative")
+        self.n_nodes = n_nodes
+        self.rounds = rounds
+
+    @abstractmethod
+    def bottom(self) -> Lattice:
+        """The initial (bottom) state every replica starts from."""
+
+    @abstractmethod
+    def updates_for(self, round_index: int, node: int) -> Sequence[DeltaMutator]:
+        """The δ-mutators ``node`` applies in ``round_index``."""
+
+    def total_updates(self) -> int:
+        """Number of update operations in the whole schedule."""
+        count = 0
+        for round_index in range(self.rounds):
+            for node in range(self.n_nodes):
+                count += len(self.updates_for(round_index, node))
+        return count
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r}, nodes={self.n_nodes}, rounds={self.rounds})"

@@ -1,0 +1,115 @@
+"""The command-line experiment runner.
+
+Drives :func:`repro.cli.main` in-process (no subprocess) at CI scale,
+checking argument plumbing, report emission, file output, and the
+preset/override precedence rules.
+"""
+
+import io
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run_cli(*argv):
+    stream = io.StringIO()
+    code = main(list(argv), stream=stream)
+    return code, stream.getvalue()
+
+
+class TestList:
+    def test_lists_every_experiment(self):
+        code, output = run_cli("list")
+        assert code == 0
+        for artifact in (
+            "figure1",
+            "figure7",
+            "figure8",
+            "figure9",
+            "figure10",
+            "figure11",
+            "figure12",
+            "table1",
+            "table2",
+        ):
+            assert artifact in output
+
+
+class TestRun:
+    def test_figure7_ci_scale_prints_ratio_table(self):
+        code, output = run_cli("run", "figure7", "--scale", "ci")
+        assert code == 0
+        assert "Figure 7" in output
+        assert "delta-based-bp-rr" in output
+        assert "state-based" in output
+        assert "completed in" in output
+
+    def test_table1_renders_workload_registry(self):
+        code, output = run_cli("run", "table1", "--scale", "ci")
+        assert code == 0
+        lowered = output.lower()
+        assert "gcounter" in lowered and "gset" in lowered
+
+    def test_table2_respects_ops_override(self):
+        code, output = run_cli("run", "table2", "--ops", "2000")
+        assert code == 0
+        assert "Table II" in output
+
+    def test_figure9_accepts_size_list(self):
+        code, output = run_cli(
+            "run", "figure9", "--sizes", "6,8", "--rounds", "4"
+        )
+        assert code == 0
+        assert "Figure 9" in output
+
+    def test_figure12_accepts_coefficients(self):
+        code, output = run_cli(
+            "run",
+            "figure12",
+            "--scale",
+            "ci",
+            "--coefficients",
+            "0.5,1.5",
+            "--nodes",
+            "8",
+            "--users",
+            "60",
+            "--rounds",
+            "5",
+        )
+        assert code == 0
+        assert "Figure 12" in output
+
+    def test_appendixb_runs_the_causal_grid(self):
+        code, output = run_cli(
+            "run", "appendixb", "--scale", "ci", "--nodes", "6", "--rounds", "4"
+        )
+        assert code == 0
+        assert "Appendix B" in output
+        assert "delta-based-bp-rr" in output
+
+    def test_node_override_beats_preset(self):
+        code, output = run_cli(
+            "run", "figure1", "--scale", "ci", "--nodes", "6", "--rounds", "5"
+        )
+        assert code == 0
+        assert "Figure 1" in output
+
+    def test_out_file_receives_report(self, tmp_path):
+        target = tmp_path / "report.txt"
+        code, output = run_cli(
+            "run", "figure1", "--scale", "ci", "--rounds", "5", "--out", str(target)
+        )
+        assert code == 0
+        written = target.read_text()
+        assert "Figure 1" in written
+        assert written.strip().splitlines()[0] in output
+
+    def test_unknown_experiment_is_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "figure99"])
+
+    def test_missing_command_is_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])

@@ -1,0 +1,76 @@
+"""Golden vectors pinning the wire format.
+
+The codec's byte layout is a compatibility contract: states persisted
+or exchanged by one version must decode under the next.  These vectors
+pin the exact encoding of one representative value per construct; any
+format change — intentional or not — fails here first, forcing an
+explicit decision (and, in a real deployment, a version bump).
+"""
+
+import pytest
+
+from repro.causal import Atom, Causal, CausalContext, Dot, DotFun, DotMap, DotSet
+from repro.codec import decode, encode
+from repro.lattice import (
+    Bool,
+    Chain,
+    LexPair,
+    LinearSum,
+    MapLattice,
+    MaxInt,
+    PairLattice,
+    SetLattice,
+)
+
+GOLDEN = [
+    ("maxint-zero", MaxInt(0), "1000"),
+    ("maxint", MaxInt(300), "10ac02"),
+    ("bool", Bool(True), "1101"),
+    ("chain", Chain(7, bottom=0), "1203 0e 03 00"),
+    ("set", SetLattice({"b", "a"}), "1302 0501 61 0501 62"),
+    ("map", MapLattice({"k": MaxInt(1)}), "1401 0501 6b 1001"),
+    ("pair", PairLattice(MaxInt(1), Bool(False)), "15 1001 1100"),
+    ("lexpair", LexPair(MaxInt(2), MaxInt(3)), "16 1002 1003"),
+    ("sum-left", LinearSum.left(MaxInt(4)), "17 00 1004 1000"),
+    ("atom-bottom", Atom(), "21 00"),
+    ("atom-int", Atom(-1), "21 01 03 01"),
+    (
+        "causal-dotset",
+        Causal(
+            DotSet([Dot("A", 1)]),
+            CausalContext.from_dots([Dot("A", 1), Dot("B", 2)]),
+        ),
+        # store: DotSet with 1 dot (A,1); context: compact {A:1}, cloud {(B,2)}
+        "20 01 01 0501 41 01   01 0501 41 01   01 0501 42 02",
+    ),
+    (
+        "causal-dotfun",
+        Causal(
+            DotFun({Dot("A", 1): Atom("v")}),
+            CausalContext.from_dots([Dot("A", 1)]),
+        ),
+        "20 02 01 0501 41 01 21 01 0501 76   01 0501 41 01   00",
+    ),
+    (
+        "causal-dotmap",
+        Causal(
+            DotMap({"x": DotSet([Dot("A", 1)])}),
+            CausalContext.from_dots([Dot("A", 1)]),
+        ),
+        "20 03 01 0501 78 01 01 0501 41 01   01 0501 41 01   00",
+    ),
+]
+
+
+def _clean(hexes: str) -> bytes:
+    return bytes.fromhex(hexes.replace(" ", ""))
+
+
+@pytest.mark.parametrize("label,value,expected_hex", GOLDEN, ids=[g[0] for g in GOLDEN])
+def test_encoding_matches_golden_vector(label, value, expected_hex):
+    assert encode(value).hex() == _clean(expected_hex).hex()
+
+
+@pytest.mark.parametrize("label,value,expected_hex", GOLDEN, ids=[g[0] for g in GOLDEN])
+def test_golden_vector_decodes_to_value(label, value, expected_hex):
+    assert decode(_clean(expected_hex)) == value

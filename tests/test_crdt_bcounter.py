@@ -1,0 +1,171 @@
+"""Bounded counter: rights accounting and the non-negativity invariant.
+
+The BCounter's whole point is that locally-refused decrements keep the
+*global* value non-negative without coordination.  Beyond the unit
+behaviour of each mutator, a randomized interleaving test drives
+increments, rights transfers, decrements, and merges across replicas
+and asserts the invariant at every step — the property a downstream
+user is actually buying.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crdt import BCounter, InsufficientRights
+
+
+def sync(*replicas):
+    for left in replicas:
+        for right in replicas:
+            if left is not right:
+                left.merge(right)
+
+
+class TestBasics:
+    def test_starts_at_zero_with_no_rights(self):
+        c = BCounter("A")
+        assert c.value == 0
+        assert c.rights == 0
+
+    def test_increment_mints_rights(self):
+        c = BCounter("A")
+        c.increment(5)
+        assert c.value == 5
+        assert c.rights == 5
+
+    def test_decrement_spends_rights(self):
+        c = BCounter("A")
+        c.increment(5)
+        c.decrement(3)
+        assert c.value == 2
+        assert c.rights == 2
+
+    def test_decrement_without_rights_is_refused(self):
+        c = BCounter("A")
+        with pytest.raises(InsufficientRights):
+            c.decrement()
+
+    def test_decrement_beyond_rights_is_refused(self):
+        c = BCounter("A")
+        c.increment(2)
+        with pytest.raises(InsufficientRights):
+            c.decrement(3)
+
+    def test_non_positive_amounts_rejected(self):
+        c = BCounter("A")
+        c.increment(1)
+        with pytest.raises(ValueError):
+            c.increment(0)
+        with pytest.raises(ValueError):
+            c.decrement(-1)
+        with pytest.raises(ValueError):
+            c.transfer(0, to="B")
+
+
+class TestTransfers:
+    def test_transfer_moves_rights(self):
+        a, b = BCounter("A"), BCounter("B")
+        a.increment(10)
+        a.transfer(4, to="B")
+        b.merge(a)
+        assert a.rights == 6
+        assert b.rights == 4
+        assert b.value == 10  # transfers do not change the value
+
+    def test_recipient_can_spend_transferred_rights(self):
+        a, b = BCounter("A"), BCounter("B")
+        a.increment(10)
+        a.transfer(4, to="B")
+        b.merge(a)
+        b.decrement(4)
+        assert b.value == 6
+        with pytest.raises(InsufficientRights):
+            b.decrement(1)
+
+    def test_transfer_beyond_rights_is_refused(self):
+        a = BCounter("A")
+        a.increment(3)
+        with pytest.raises(InsufficientRights):
+            a.transfer(4, to="B")
+
+    def test_transfer_to_self_is_rejected(self):
+        a = BCounter("A")
+        a.increment(3)
+        with pytest.raises(ValueError, match="oneself"):
+            a.transfer(1, to="A")
+
+    def test_transfers_accumulate_in_matrix(self):
+        a, b = BCounter("A"), BCounter("B")
+        a.increment(10)
+        a.transfer(2, to="B")
+        a.transfer(3, to="B")
+        b.merge(a)
+        assert b.rights == 5
+
+    def test_rights_of_other_replicas_are_visible(self):
+        a, b = BCounter("A"), BCounter("B")
+        a.increment(10)
+        a.transfer(4, to="B")
+        assert a.rights_of("B") == 4
+
+
+class TestConvergence:
+    def test_concurrent_increments_merge(self):
+        a, b = BCounter("A"), BCounter("B")
+        a.increment(2)
+        b.increment(3)
+        sync(a, b)
+        assert a.value == 5 and b.value == 5
+        assert a.state == b.state
+
+    def test_merge_is_idempotent(self):
+        a, b = BCounter("A"), BCounter("B")
+        a.increment(2)
+        b.merge(a)
+        before = b.state
+        b.merge(a)
+        assert b.state == before
+
+    def test_deltas_replicate_transfers(self):
+        a, b = BCounter("A"), BCounter("B")
+        a.increment(5)
+        delta = a.transfer(2, to="B")
+        b.merge(a.state)  # full state first
+        b.merge(delta)  # then the (idempotent) delta again
+        assert b.rights == 2
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.integers(min_value=0, max_value=2**32 - 1))
+def test_invariant_holds_under_random_interleavings(seed):
+    """value ≥ 0 and Σ rights == value at every local view, always."""
+    rng = random.Random(seed)
+    replica_ids = ["A", "B", "C"]
+    replicas = {name: BCounter(name) for name in replica_ids}
+    for _ in range(40):
+        name = rng.choice(replica_ids)
+        counter = replicas[name]
+        action = rng.random()
+        try:
+            if action < 0.35:
+                counter.increment(rng.randint(1, 5))
+            elif action < 0.6:
+                counter.decrement(rng.randint(1, 5))
+            elif action < 0.8:
+                target = rng.choice([r for r in replica_ids if r != name])
+                counter.transfer(rng.randint(1, 5), to=target)
+            else:
+                source = rng.choice([r for r in replica_ids if r != name])
+                counter.merge(replicas[source])
+        except InsufficientRights:
+            pass  # the refusal is the mechanism under test
+        # The global invariant must hold at every replica's local view.
+        for other in replicas.values():
+            assert other.value >= 0
+            total_rights = sum(other.rights_of(r) for r in replica_ids)
+            assert total_rights == other.value
+    sync(*replicas.values())
+    states = {repr(c.state) for c in replicas.values()}
+    assert len(states) == 1

@@ -1,0 +1,261 @@
+"""Integration tests for the figure/table drivers at reduced scale.
+
+Each test runs the driver at a size small enough for CI and asserts the
+*shape* claims of the corresponding paper artifact — who wins, in which
+direction the curves move — not absolute magnitudes.
+"""
+
+import pytest
+
+from repro.experiments import (
+    EXPERIMENTS,
+    run_figure1,
+    run_figure7,
+    run_figure8,
+    run_figure9,
+    run_figure10,
+    run_figure11,
+    run_figure12,
+    run_table1,
+    run_table2,
+)
+from repro.experiments.retwis_sweep import RetwisConfig
+
+
+@pytest.fixture(scope="module")
+def figure1():
+    return run_figure1(nodes=15, rounds=15)
+
+
+@pytest.fixture(scope="module")
+def figure7():
+    return run_figure7(nodes=15, rounds=12)
+
+
+@pytest.fixture(scope="module")
+def figure9():
+    return run_figure9(sizes=(8, 16), rounds=10)
+
+
+@pytest.fixture(scope="module")
+def figure10():
+    return run_figure10(nodes=15, rounds=12)
+
+
+@pytest.fixture(scope="module")
+def retwis_results():
+    config = RetwisConfig(nodes=8, users=120, rounds=10, ops_per_node=4)
+    coefficients = (0.5, 1.5)
+    return (
+        run_figure11(coefficients=coefficients, config=config),
+        run_figure12(coefficients=coefficients, config=config),
+    )
+
+
+class TestFigure1:
+    def test_classic_delta_no_better_than_state_based(self, figure1):
+        assert figure1.transmission_ratio() > 0.9
+
+    def test_delta_has_cpu_overhead(self, figure1):
+        assert figure1.cpu_ratio_wall() > 1.0
+
+    def test_series_monotone(self, figure1):
+        series = figure1.cumulative_series("state-based")
+        totals = [units for _, units in series]
+        assert totals == sorted(totals)
+
+    def test_render(self, figure1):
+        text = figure1.render()
+        assert "Figure 1" in text
+        assert "state-based" in text
+
+
+class TestTable1:
+    def test_all_rows_verified(self):
+        result = run_table1()
+        assert result.all_verified()
+        assert "GMap 100%" in result.render()
+
+
+class TestFigure7:
+    def test_bp_rr_is_the_baseline(self, figure7):
+        for workload in ("gset", "gcounter"):
+            for topology in ("tree", "mesh"):
+                assert figure7.ratio(workload, topology, "delta-based-bp-rr") == 1.0
+
+    def test_classic_close_to_state_based_on_mesh(self, figure7):
+        classic = figure7.ratio("gset", "mesh", "delta-based")
+        state = figure7.ratio("gset", "mesh", "state-based")
+        assert classic > 0.9 * state
+
+    def test_bp_suffices_on_tree(self, figure7):
+        assert figure7.ratio("gset", "tree", "delta-based-bp") == 1.0
+
+    def test_bp_has_little_effect_on_mesh(self, figure7):
+        bp = figure7.ratio("gset", "mesh", "delta-based-bp")
+        classic = figure7.ratio("gset", "mesh", "delta-based")
+        assert bp > 0.8 * classic
+
+    def test_rr_contributes_most_on_mesh(self, figure7):
+        rr = figure7.ratio("gset", "mesh", "delta-based-rr")
+        bp = figure7.ratio("gset", "mesh", "delta-based-bp")
+        assert rr < 0.3 * bp
+
+    def test_scuttlebutt_beats_classic_on_gset(self, figure7):
+        assert figure7.ratio("gset", "mesh", "scuttlebutt") < figure7.ratio(
+            "gset", "mesh", "delta-based"
+        )
+
+    def test_scuttlebutt_loses_on_gcounter(self, figure7):
+        """Opaque values cannot compress under joins (paper §V-B.1)."""
+        assert figure7.ratio("gcounter", "mesh", "scuttlebutt") > figure7.ratio(
+            "gcounter", "mesh", "state-based"
+        )
+
+    def test_op_based_loses_on_gcounter(self, figure7):
+        assert figure7.ratio("gcounter", "mesh", "op-based") > figure7.ratio(
+            "gcounter", "mesh", "state-based"
+        )
+
+    def test_gcounter_bp_rr_gain_is_modest(self, figure7):
+        """BP+RR cannot do much when ~every entry changes every round."""
+        assert figure7.ratio("gcounter", "mesh", "state-based") < 2.0
+
+
+class TestFigure8:
+    @pytest.fixture(scope="class")
+    def figure8(self):
+        return run_figure8(nodes=15, rounds=12)
+
+    def test_rr_crucial_on_mesh_for_every_contention(self, figure8):
+        for workload in ("gmap-10", "gmap-30", "gmap-60", "gmap-100"):
+            rr = figure8.ratio(workload, "mesh", "delta-based-rr")
+            bp = figure8.ratio(workload, "mesh", "delta-based-bp")
+            assert rr < bp
+
+    def test_bp_rr_reduction_shrinks_with_contention(self, figure8):
+        """GMap 10% benefits more than GMap 100% (Fig. 8 trend)."""
+        low = figure8.reduction_vs_state_based("gmap-10", "mesh", "delta-based-bp-rr")
+        high = figure8.reduction_vs_state_based("gmap-100", "mesh", "delta-based-bp-rr")
+        assert low > high
+
+    def test_gmap100_modest_improvement(self, figure8):
+        reduction = figure8.reduction_vs_state_based(
+            "gmap-100", "mesh", "delta-based-bp-rr"
+        )
+        assert 0.0 < reduction < 0.6
+
+
+class TestFigure9:
+    def test_delta_metadata_share_is_small(self, figure9):
+        assert figure9.metadata_fraction(16, "delta-based-bp-rr") < 0.15
+
+    def test_vector_protocols_metadata_dominates(self, figure9):
+        for label in ("scuttlebutt", "scuttlebutt-gc", "op-based"):
+            assert figure9.metadata_fraction(16, label) > 0.6
+
+    def test_growth_shapes(self, figure9):
+        assert 0.7 < figure9.growth_exponent("scuttlebutt") < 1.5
+        assert figure9.growth_exponent("scuttlebutt-gc") > 1.5
+        assert figure9.growth_exponent("delta-based-bp-rr") < 0.5
+
+    def test_gc_metadata_heavier_than_plain(self, figure9):
+        assert figure9.metadata_per_node(16, "scuttlebutt-gc") > figure9.metadata_per_node(
+            16, "scuttlebutt"
+        )
+
+
+class TestFigure10:
+    def test_state_based_is_memory_optimal(self, figure10):
+        for workload in ("gcounter", "gset", "gmap-10", "gmap-100"):
+            assert figure10.memory_ratio(workload, "state-based") <= 1.0
+
+    def test_classic_overhead_over_bp_rr(self, figure10):
+        for workload in ("gset", "gmap-10"):
+            assert figure10.memory_ratio(workload, "delta-based") > 1.0
+
+    def test_scuttlebutt_memory_only_deteriorates_without_gc(self, figure10):
+        """"As long as new updates exist, the memory consumption for
+        Scuttlebutt can only deteriorate" — its store is never pruned,
+        so its footprint must grow faster than the GC variant's."""
+        assert figure10.memory_ratio("gcounter", "scuttlebutt") > 1.0
+        assert figure10.memory_ratio("gcounter", "scuttlebutt-gc") > 1.0
+        cell = figure10.grid.cell("gcounter", "mesh")
+        for label in ("scuttlebutt", "scuttlebutt-gc"):
+            metrics = cell.results[label].metrics
+            halves = metrics.split_at(metrics.last_time() / 2)
+            growth = (
+                halves[1].average_memory_units()
+                / max(halves[0].average_memory_units(), 1e-9)
+            )
+            if label == "scuttlebutt":
+                plain_growth = growth
+            else:
+                gc_growth = growth
+        assert plain_growth > gc_growth
+
+    def test_vector_protocols_highest_on_gcounter(self, figure10):
+        vector = min(
+            figure10.memory_ratio("gcounter", label)
+            for label in ("scuttlebutt", "scuttlebutt-gc", "op-based")
+        )
+        delta = max(
+            figure10.memory_ratio("gcounter", label)
+            for label in ("delta-based", "delta-based-bp", "delta-based-bp-rr")
+        )
+        assert vector > delta
+
+
+class TestTable2:
+    def test_mix_and_rules(self):
+        result = run_table2(ops=5000)
+        assert result.mix_close_to_paper()
+        assert result.update_rules_hold()
+
+
+class TestFigures11And12:
+    def test_gap_widens_with_contention(self, retwis_results):
+        figure11, _ = retwis_results
+        assert figure11.bandwidth_gap(1.5) > figure11.bandwidth_gap(0.5)
+
+    def test_classic_near_optimal_at_low_contention(self, retwis_results):
+        figure11, _ = retwis_results
+        assert figure11.bandwidth_gap(0.5) < 2.5
+
+    def test_memory_gap_widens(self, retwis_results):
+        figure11, _ = retwis_results
+        low = figure11.memory(0.5, "delta-based") / figure11.memory(
+            0.5, "delta-based-bp-rr"
+        )
+        high = figure11.memory(1.5, "delta-based") / figure11.memory(
+            1.5, "delta-based-bp-rr"
+        )
+        assert high > low
+
+    def test_cpu_overhead_grows_with_contention(self, retwis_results):
+        _, figure12 = retwis_results
+        assert figure12.cpu_ratio_proxy(1.5) > figure12.cpu_ratio_proxy(0.5)
+        assert figure12.overhead_proxy(1.5) > 0.5
+
+    def test_renders(self, retwis_results):
+        figure11, figure12 = retwis_results
+        assert "Figure 11" in figure11.render()
+        assert "Figure 12" in figure12.render()
+
+
+class TestRegistry:
+    def test_every_paper_artifact_has_a_driver(self):
+        paper_artifacts = {
+            "figure1",
+            "table1",
+            "figure7",
+            "figure8",
+            "figure9",
+            "figure10",
+            "table2",
+            "figure11",
+            "figure12",
+        }
+        assert paper_artifacts <= set(EXPERIMENTS)
+        # Extensions beyond the paper's evaluation section.
+        assert set(EXPERIMENTS) - paper_artifacts == {"appendixb"}

@@ -1,0 +1,74 @@
+"""Report rendering helpers: tables, byte formatting, ASCII charts."""
+
+from repro.experiments.report import ascii_chart, format_table, human_bytes
+
+
+class TestFormatTable:
+    def test_aligns_columns(self):
+        text = format_table(
+            ("name", "value"), [("short", 1), ("much-longer-name", 2.5)]
+        )
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        assert all(len(line) >= len("much-longer-name") for line in lines[1:])
+
+    def test_title_is_first_line(self):
+        text = format_table(("a",), [(1,)], title="My Title")
+        assert text.splitlines()[0] == "My Title"
+
+    def test_thousands_separators(self):
+        text = format_table(("n",), [(1234567,)])
+        assert "1,234,567" in text
+
+    def test_booleans_render_as_words(self):
+        text = format_table(("ok",), [(True,), (False,)])
+        assert "yes" in text and "no" in text
+
+
+class TestHumanBytes:
+    def test_bytes(self):
+        assert human_bytes(512) == "512.00 B"
+
+    def test_kib(self):
+        assert human_bytes(2048) == "2.00 KiB"
+
+    def test_mib(self):
+        assert human_bytes(1234567) == "1.18 MiB"
+
+    def test_tib_is_terminal(self):
+        assert human_bytes(2**50) == "1024.00 TiB"
+
+
+class TestAsciiChart:
+    def test_linear_scale_proportionality(self):
+        text = ascii_chart({"x": [50.0], "y": [100.0]}, width=10)
+        x_line, y_line = text.splitlines()
+        assert y_line.count("█") == 10
+        assert x_line.count("█") == 5
+
+    def test_log_scale_spreads_magnitudes(self):
+        text = ascii_chart({"a": [1.0, 10.0, 100.0]}, width=20, log=True)
+        lines = text.splitlines()
+        bars = [line.count("█") for line in lines]
+        # Log scale: equal ratios → equal bar increments.
+        assert bars[1] - bars[0] == bars[2] - bars[1] == 10
+
+    def test_zero_values_render_empty_marker(self):
+        text = ascii_chart({"z": [0.0], "p": [5.0]}, width=8)
+        z_line = next(line for line in text.splitlines() if line.startswith("z"))
+        assert "▏" in z_line and "█" not in z_line
+
+    def test_unit_suffix(self):
+        text = ascii_chart({"m": [3.0]}, unit="KiB")
+        assert "3.000 KiB" in text
+
+    def test_single_point_series_omits_index(self):
+        text = ascii_chart({"solo": [7.0]})
+        assert "solo " in text and "solo[0]" not in text
+
+    def test_empty_series_is_graceful(self):
+        assert ascii_chart({}) == "(no data)"
+
+    def test_equal_log_values_fill_fully(self):
+        text = ascii_chart({"a": [5.0], "b": [5.0]}, width=6, log=True)
+        assert all(line.count("█") == 6 for line in text.splitlines())

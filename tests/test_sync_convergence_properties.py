@@ -1,0 +1,189 @@
+"""Property-based convergence tests across every synchronizer.
+
+Strong eventual consistency is the contract every protocol must honour:
+whatever the topology, update pattern, and interleaving, once updates
+stop and synchronization keeps running, all replicas reach the same
+state — and protocols that replay the same schedule agree on *which*
+state.  Hypothesis explores random cluster sizes, topology families,
+and update schedules.
+"""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.lattice import MapLattice, MaxInt, SetLattice
+from repro.sim.runner import run_experiment, run_suite
+from repro.sim.topology import full_mesh, line, partial_mesh, ring, star, tree
+from repro.sync import (
+    OpBased,
+    Scuttlebutt,
+    ScuttlebuttGC,
+    StateBased,
+    classic,
+    delta_bp,
+    delta_bp_rr,
+    delta_rr,
+)
+from repro.workloads.base import Workload
+
+ALL = {
+    "state-based": StateBased,
+    "delta-based": classic,
+    "delta-based-bp": delta_bp,
+    "delta-based-rr": delta_rr,
+    "delta-based-bp-rr": delta_bp_rr,
+    "scuttlebutt": Scuttlebutt,
+    "scuttlebutt-gc": ScuttlebuttGC,
+    "op-based": OpBased,
+}
+
+SLOW = settings(
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+class RandomSetWorkload(Workload):
+    """A randomized GSet schedule: some nodes add, some stay silent."""
+
+    name = "random-gset"
+
+    def __init__(self, n_nodes, rounds, activity):
+        super().__init__(n_nodes, rounds)
+        self.activity = activity  # {(round, node): [elements]}
+
+    def bottom(self):
+        return SetLattice()
+
+    def updates_for(self, round_index, node):
+        elements = self.activity.get((round_index, node), [])
+
+        def adder(state, batch=tuple(elements)):
+            missing = [e for e in batch if e not in state]
+            return SetLattice(missing) if missing else state.bottom_like()
+
+        return (adder,) if elements else ()
+
+
+@st.composite
+def cluster_scenarios(draw):
+    """A random topology plus a random sparse update schedule."""
+    n = draw(st.integers(min_value=2, max_value=8))
+    builders = [line, star, full_mesh]
+    if n >= 3:
+        builders.extend([ring, lambda k: tree(k, 2)])
+    if n >= 5:
+        builders.append(lambda k: partial_mesh(k, 2))
+    topology = draw(st.sampled_from(builders))(n)
+    rounds = draw(st.integers(min_value=1, max_value=5))
+    activity = {}
+    for r in range(rounds):
+        for node in range(n):
+            if draw(st.booleans()):
+                count = draw(st.integers(min_value=1, max_value=3))
+                activity[(r, node)] = [f"e-{r}-{node}-{i}" for i in range(count)]
+    return topology, RandomSetWorkload(n, rounds, activity), activity
+
+
+@given(cluster_scenarios(), st.sampled_from(sorted(ALL)))
+@SLOW
+def test_every_protocol_reaches_convergence(scenario, algorithm):
+    topology, workload, activity = scenario
+    result = run_experiment(ALL[algorithm], workload, topology)
+    assert result.converged
+
+    expected = {e for batch in activity.values() for e in batch}
+    assert result.final_state_units == len(expected)
+
+
+@given(cluster_scenarios())
+@SLOW
+def test_all_protocols_agree_on_final_state(scenario):
+    topology, _, activity = scenario
+
+    def fresh():
+        n = topology.n
+        rounds = max((r for r, _ in activity), default=0) + 1
+        return RandomSetWorkload(n, rounds, activity)
+
+    results = run_suite(ALL, fresh, topology)
+    units = {r.final_state_units for r in results.values()}
+    assert len(units) == 1
+
+
+@given(cluster_scenarios())
+@SLOW
+def test_bp_rr_never_transmits_more_than_classic(scenario):
+    """The optimizations only ever remove redundant state."""
+    topology, _, activity = scenario
+
+    def fresh():
+        n = topology.n
+        rounds = max((r for r, _ in activity), default=0) + 1
+        return RandomSetWorkload(n, rounds, activity)
+
+    results = run_suite(
+        {"delta-based": classic, "delta-based-bp-rr": delta_bp_rr}, fresh, topology
+    )
+    assert (
+        results["delta-based-bp-rr"].transmission_units()
+        <= results["delta-based"].transmission_units()
+    )
+
+
+class RandomCounterWorkload(Workload):
+    """Randomized per-node increments on a shared GCounter."""
+
+    name = "random-gcounter"
+
+    def __init__(self, n_nodes, rounds, increments):
+        super().__init__(n_nodes, rounds)
+        self.increments = increments  # {(round, node): amount}
+
+    def bottom(self):
+        return MapLattice()
+
+    def updates_for(self, round_index, node):
+        amount = self.increments.get((round_index, node), 0)
+        if not amount:
+            return ()
+
+        def bump(state, by=amount, replica=node):
+            current = state.get(replica)
+            base = current.value if isinstance(current, MaxInt) else 0
+            return MapLattice({replica: MaxInt(base + by)})
+
+        return (bump,)
+
+
+@st.composite
+def counter_scenarios(draw):
+    n = draw(st.integers(min_value=2, max_value=6))
+    topology = star(n) if draw(st.booleans()) else full_mesh(n)
+    rounds = draw(st.integers(min_value=1, max_value=4))
+    increments = {}
+    for r in range(rounds):
+        for node in range(n):
+            amount = draw(st.integers(min_value=0, max_value=3))
+            if amount:
+                increments[(r, node)] = amount
+    return topology, RandomCounterWorkload(n, rounds, increments), increments
+
+
+@given(counter_scenarios(), st.sampled_from(sorted(ALL)))
+@SLOW
+def test_counter_value_preserved(scenario, algorithm):
+    """Every protocol delivers exactly the sum of all increments."""
+    topology, workload, increments = scenario
+    result = run_experiment(ALL[algorithm], workload, topology)
+    assert result.converged
+    # Recover the converged counter value from a fresh replay.
+    from repro.sim.network import Cluster, ClusterConfig
+
+    cluster = Cluster(ClusterConfig(topology), ALL[algorithm], workload.bottom())
+    cluster.run_rounds(workload.rounds, workload.updates_for)
+    cluster.drain()
+    total = sum(
+        entry.value for _, entry in cluster.nodes[0].state.items()
+    )
+    assert total == sum(increments.values())

@@ -1,0 +1,103 @@
+"""Quiescence: what each protocol costs when nothing is changing.
+
+A real deployment spends most of its life converged.  The paper's
+protocols differ sharply at rest — state-based keeps shipping full
+states every interval, delta variants go silent once buffers drain,
+Scuttlebutt keeps exchanging digest vectors, Merkle keeps exchanging
+root hashes — and these costs are design consequences worth pinning,
+not accidents of the simulator.
+"""
+
+import pytest
+
+from repro.lattice.set_lattice import SetLattice
+from repro.sim.network import Cluster, ClusterConfig
+from repro.sim.topology import partial_mesh
+from repro.sync import ALGORITHMS
+from repro.sync.merkle import MerkleSync
+
+
+def converged_cluster(factory):
+    """A cluster that did some work and fully converged."""
+    topology = partial_mesh(6, 4)
+    cluster = Cluster(ClusterConfig(topology=topology), factory, SetLattice())
+
+    def unique_add(node, r):
+        element = f"n{node}r{r}"
+
+        def add(state, e=element):
+            if e in state:
+                return state.bottom_like()
+            return SetLattice((e,))
+
+        return add
+
+    cluster.run_rounds(3, lambda r, node: (unique_add(node, r),))
+    cluster.drain()
+    assert cluster.converged()
+    # State convergence does not imply buffer quiescence: δ-buffers may
+    # still hold the (now redundant) last-received groups, which the
+    # next tick flushes.  Settle those before measuring the idle cost.
+    cluster.run_round(updates=None)
+    cluster.run_round(updates=None)
+    return cluster
+
+
+def idle_tick(cluster):
+    """Run one update-free round; return the messages it produced."""
+    before = len(cluster.metrics.messages)
+    cluster.run_round(updates=None)
+    return cluster.metrics.messages[before:]
+
+
+@pytest.mark.parametrize(
+    "variant",
+    ["delta-based", "delta-based-bp", "delta-based-rr", "delta-based-bp-rr"],
+)
+def test_delta_variants_are_silent_at_rest(variant):
+    """Empty δ-buffers send nothing — the δ-group join of ∅ is ⊥."""
+    cluster = converged_cluster(ALGORITHMS[variant])
+    assert idle_tick(cluster) == []
+
+
+def test_state_based_keeps_shipping_full_states():
+    cluster = converged_cluster(ALGORITHMS["state-based"])
+    idle = idle_tick(cluster)
+    assert idle, "state-based never goes quiet"
+    state_units = cluster.nodes[0].state.size_units()
+    assert all(m.payload_units == state_units for m in idle)
+
+
+def test_scuttlebutt_pays_digest_vectors_at_rest():
+    cluster = converged_cluster(ALGORITHMS["scuttlebutt"])
+    idle = idle_tick(cluster)
+    assert idle, "anti-entropy keeps probing"
+    # Probes carry vector metadata but no payload once converged.
+    assert all(m.payload_units == 0 for m in idle)
+    assert all(m.metadata_units > 0 for m in idle)
+
+
+def test_op_based_is_silent_once_ops_are_delivered():
+    cluster = converged_cluster(ALGORITHMS["op-based"])
+    assert all(m.payload_units == 0 for m in idle_tick(cluster))
+
+
+def test_merkle_pays_one_root_digest_per_link():
+    cluster = converged_cluster(MerkleSync)
+    idle = idle_tick(cluster)
+    links = sum(len(node.neighbors) for node in cluster.nodes)
+    assert len(idle) == links
+    assert all(m.payload_units == 0 and m.metadata_units == 1 for m in idle)
+
+
+def test_quiescent_ordering_matches_the_design():
+    """At rest: delta silence < digest probes < full states."""
+    def idle_units(factory):
+        cluster = converged_cluster(factory)
+        return sum(m.total_units for m in idle_tick(cluster))
+
+    delta = idle_units(ALGORITHMS["delta-based-bp-rr"])
+    scuttlebutt = idle_units(ALGORITHMS["scuttlebutt"])
+    state = idle_units(ALGORITHMS["state-based"])
+    assert delta == 0
+    assert 0 < scuttlebutt < state

@@ -1,0 +1,239 @@
+"""Tests for the workload generators: Table I micro-benchmarks, Zipf
+sampling, and the Table II Retwis application."""
+
+import pytest
+
+from repro.lattice import MapLattice, MaxInt, SetLattice
+from repro.workloads import (
+    GCounterWorkload,
+    GMapWorkload,
+    GSetWorkload,
+    MICRO_BENCHMARKS,
+    RetwisWorkload,
+    ZipfSampler,
+    make_micro_workload,
+)
+from repro.workloads.retwis import (
+    FOLLOW_SHARE,
+    POST_SHARE,
+    TWEET_CONTENT_BYTES,
+    TWEET_ID_BYTES,
+    followers_key,
+    make_tweet_content,
+    make_tweet_id,
+    timeline_key,
+    wall_key,
+)
+
+
+class TestGCounterWorkload:
+    def test_one_increment_per_node_per_round(self):
+        w = GCounterWorkload(5, rounds=3)
+        assert len(w.updates_for(0, 2)) == 1
+        assert w.total_updates() == 15
+
+    def test_increment_targets_own_entry(self):
+        w = GCounterWorkload(3)
+        [inc] = w.updates_for(0, 1)
+        delta = inc(MapLattice())
+        assert delta == MapLattice({1: MaxInt(1)})
+
+    def test_increment_builds_on_state(self):
+        w = GCounterWorkload(3)
+        [inc] = w.updates_for(5, 1)
+        state = MapLattice({1: MaxInt(7)})
+        assert inc(state) == MapLattice({1: MaxInt(8)})
+
+
+class TestGSetWorkload:
+    def test_elements_globally_unique(self):
+        w = GSetWorkload(4, rounds=5)
+        elements = {
+            w.element(r, n) for r in range(5) for n in range(4)
+        }
+        assert len(elements) == 20
+
+    def test_element_width_fixed(self):
+        w = GSetWorkload(4, rounds=5, element_bytes=25)
+        assert all(
+            len(w.element(r, n)) == 25 for r in range(5) for n in range(4)
+        )
+
+    def test_minimum_width_enforced(self):
+        with pytest.raises(ValueError):
+            GSetWorkload(4, rounds=5, element_bytes=5)
+
+    def test_duplicate_add_is_bottom(self):
+        w = GSetWorkload(2, rounds=1)
+        [add] = w.updates_for(0, 0)
+        state = SetLattice({w.element(0, 0)})
+        assert add(state).is_bottom
+
+
+class TestGMapWorkload:
+    def test_keys_per_round_global_percentage(self):
+        w = GMapWorkload(15, percent=10, total_keys=1000)
+        assert w.keys_per_round == 100
+
+    def test_node_slices_partition_the_round_quota(self):
+        w = GMapWorkload(15, percent=10, total_keys=1000)
+        all_keys = []
+        for node in range(15):
+            all_keys.extend(w.node_slice(0, node))
+        assert len(all_keys) == 100
+        assert len(set(all_keys)) == 100  # disjoint across nodes
+
+    def test_slices_rotate_across_rounds(self):
+        w = GMapWorkload(5, percent=10, total_keys=1000)
+        round0 = set(w.node_slice(0, 0))
+        round1 = set(w.node_slice(1, 0))
+        assert round0 != round1
+
+    def test_hundred_percent_touches_every_key(self):
+        w = GMapWorkload(10, percent=100, total_keys=1000)
+        touched = set()
+        for node in range(10):
+            touched.update(w.node_slice(0, node))
+        assert len(touched) == 1000
+
+    def test_refresh_delta_inflates(self):
+        w = GMapWorkload(5, percent=10, total_keys=100)
+        [refresh] = w.updates_for(0, 0)
+        delta = refresh(MapLattice())
+        assert not delta.is_bottom
+        again = refresh(delta)
+        assert not again.is_bottom  # refresh always bumps further
+
+    def test_invalid_percent(self):
+        with pytest.raises(ValueError):
+            GMapWorkload(5, percent=0)
+        with pytest.raises(ValueError):
+            GMapWorkload(5, percent=150)
+
+    def test_registry(self):
+        for kind in MICRO_BENCHMARKS:
+            w = make_micro_workload(kind, 15, rounds=10)
+            assert w.rounds == 10
+        with pytest.raises(ValueError):
+            make_micro_workload("bogus", 15)
+
+
+class TestZipfSampler:
+    def test_rank_zero_is_hottest(self):
+        sampler = ZipfSampler(100, coefficient=1.2, seed=3)
+        draws = sampler.sample_many(3000)
+        assert draws.count(0) > draws.count(10) > 0
+
+    def test_low_coefficient_spreads_mass(self):
+        sampler = ZipfSampler(100, coefficient=0.0, seed=3)
+        assert abs(sampler.probability(0) - sampler.probability(99)) < 1e-9
+
+    def test_probabilities_sum_to_one(self):
+        sampler = ZipfSampler(50, coefficient=1.5)
+        assert abs(sum(sampler.probability(r) for r in range(50)) - 1.0) < 1e-9
+
+    def test_deterministic_given_seed(self):
+        a = ZipfSampler(100, 1.0, seed=9).sample_many(50)
+        b = ZipfSampler(100, 1.0, seed=9).sample_many(50)
+        assert a == b
+
+    def test_draws_in_range(self):
+        sampler = ZipfSampler(10, coefficient=1.5, seed=1)
+        assert all(0 <= d < 10 for d in sampler.sample_many(500))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ZipfSampler(0, 1.0)
+        with pytest.raises(ValueError):
+            ZipfSampler(10, -1.0)
+        with pytest.raises(IndexError):
+            ZipfSampler(10, 1.0).probability(10)
+
+
+class TestRetwisWorkload:
+    def test_payload_sizes_match_paper(self):
+        assert len(make_tweet_id(123)) == TWEET_ID_BYTES == 31
+        assert len(make_tweet_content(123)) == TWEET_CONTENT_BYTES == 270
+
+    def test_operation_mix_close_to_table_ii(self):
+        w = RetwisWorkload(10, users=200, rounds=30, ops_per_node=10, seed=1)
+        total = w.stats.total
+        assert total == 10 * 30 * 10
+        assert abs(w.stats.follows / total - FOLLOW_SHARE) < 0.03
+        assert abs(w.stats.posts / total - POST_SHARE) < 0.03
+
+    def test_timeline_reads_produce_no_updates(self):
+        w = RetwisWorkload(2, users=50, rounds=5, ops_per_node=4, seed=2)
+        update_count = sum(
+            len(w.updates_for(r, n)) for r in range(5) for n in range(2)
+        )
+        assert update_count == w.stats.follows + w.stats.posts
+
+    def test_follow_adds_to_followers_object(self):
+        w = RetwisWorkload(2, users=50, rounds=1, ops_per_node=1, seed=0)
+        mutator = w._follow_mutator(type("Op", (), {"kind": "follow", "actor": 3, "target": 7, "counter": 1}))
+        delta = mutator(MapLattice())
+        assert followers_key(7) in delta
+        assert delta.size_units() == 1
+
+    def test_post_without_followers_writes_wall_only(self):
+        w = RetwisWorkload(2, users=50, rounds=1, ops_per_node=1, seed=0)
+        op = type("Op", (), {"kind": "post", "actor": 5, "target": 5, "counter": 9})
+        delta = w._post_mutator(op)(MapLattice())
+        assert wall_key(5) in delta
+        assert delta.size_units() == 1
+
+    def test_post_fans_out_to_follower_timelines(self):
+        w = RetwisWorkload(2, users=50, rounds=1, ops_per_node=1, seed=0)
+        state = MapLattice(
+            {followers_key(5): SetLattice({"u0000001", "u0000002"})}
+        )
+        op = type("Op", (), {"kind": "post", "actor": 5, "target": 5, "counter": 9})
+        delta = w._post_mutator(op)(state)
+        assert wall_key(5) in delta
+        assert timeline_key(1) in delta
+        assert timeline_key(2) in delta
+        assert delta.size_units() == 3  # 1 + #followers (Table II)
+
+    def test_reads_reconstruct_application_view(self):
+        w = RetwisWorkload(2, users=50, rounds=1, ops_per_node=1, seed=0)
+        state = MapLattice()
+        follow = w._follow_mutator(
+            type("Op", (), {"kind": "follow", "actor": 1, "target": 5, "counter": 1})
+        )
+        state = state.join(follow(state))
+        post = w._post_mutator(
+            type("Op", (), {"kind": "post", "actor": 5, "target": 5, "counter": 2})
+        )
+        state = state.join(post(state))
+        assert RetwisWorkload.read_followers(state, 5) == ["u0000001"]
+        wall = RetwisWorkload.read_wall(state, 5)
+        assert list(wall) == [make_tweet_id(2)]
+        assert RetwisWorkload.read_timeline(state, 1) == [make_tweet_id(2)]
+
+    def test_schedule_deterministic(self):
+        a = RetwisWorkload(3, users=100, rounds=5, ops_per_node=5, seed=7)
+        b = RetwisWorkload(3, users=100, rounds=5, ops_per_node=5, seed=7)
+        assert a._schedule == b._schedule
+
+    def test_contention_grows_with_coefficient(self):
+        """Higher Zipf coefficients concentrate posts on fewer users."""
+
+        def distinct_targets(coefficient):
+            w = RetwisWorkload(
+                5, users=500, rounds=20, ops_per_node=10,
+                zipf_coefficient=coefficient, seed=11,
+            )
+            targets = {
+                op.target
+                for ops in w._schedule.values()
+                for op in ops
+                if op.kind == "post"
+            }
+            return len(targets)
+
+        assert distinct_targets(1.5) < distinct_targets(0.5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetwisWorkload(3, users=1)
