@@ -14,7 +14,11 @@ Leitão, *Efficient Synchronization of State-based CRDTs* (ICDE 2019):
   BP+RR), Scuttlebutt (± GC), operation-based, and digest-driven
   synchronization behind one interface;
 * :mod:`repro.sim` — a deterministic discrete-event cluster simulator
-  with transmission / memory / processing metrology;
+  with transmission / memory / processing metrology and crash /
+  partition fault injection;
+* :mod:`repro.kv` — a sharded, replicated key-value store hosting the
+  synchronizers: consistent-hash placement, typed heterogeneous
+  keyspace, budgeted per-shard anti-entropy, partition recovery;
 * :mod:`repro.workloads` — the Table I micro-benchmarks and the
   Table II Retwis application under Zipf contention;
 * :mod:`repro.experiments` — drivers that regenerate every figure and

@@ -8,6 +8,8 @@ without writing a driver script::
     python -m repro run figure9 --sizes 8,16,32
     python -m repro run figure11 --coefficients 0.5,1.0,1.5 --scale ci
     python -m repro run all --scale ci
+    python -m repro kv --replicas 16 --keys 1000 --workload zipf
+    python -m repro kv --workload retwis --zipf 1.5 --budget 4096
 
 Each run prints the same plain-text table the corresponding
 ``benchmarks/bench_*.py`` target produces, so CLI output can be diffed
@@ -25,7 +27,10 @@ from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.experiments import (
     EXPERIMENTS,
+    DEFAULT_ALGORITHMS as _KV_DEFAULT_ALGORITHMS,
+    KVConfig,
     RetwisConfig,
+    run_kv_sweep,
     run_appendixb,
     run_figure1,
     run_figure7,
@@ -213,6 +218,37 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument(
         "--out", type=str, default=None, help="also write the report to this file"
     )
+
+    kv = commands.add_parser(
+        "kv", help="sweep synchronization protocols over the sharded kv store"
+    )
+    kv.add_argument("--replicas", type=int, default=16, help="store replicas")
+    kv.add_argument("--keys", type=int, default=1000, help="keyspace size (zipf)")
+    kv.add_argument("--rounds", type=int, default=20, help="update rounds")
+    kv.add_argument("--ops", type=int, default=8, help="operations per node per round")
+    kv.add_argument("--users", type=int, default=200, help="Retwis users")
+    kv.add_argument("--zipf", type=float, default=1.0, help="Zipf coefficient")
+    kv.add_argument("--replication", type=int, default=3, help="replicas per shard")
+    kv.add_argument("--shards", type=int, default=32, help="shard count")
+    kv.add_argument("--seed", type=int, default=42, help="workload RNG seed")
+    kv.add_argument(
+        "--workload", choices=("zipf", "retwis"), default="zipf", help="traffic shape"
+    )
+    kv.add_argument(
+        "--budget", type=int, default=None, help="anti-entropy bytes per tick per node"
+    )
+    kv.add_argument(
+        "--repair", type=int, default=0, help="full-state repair interval in ticks"
+    )
+    kv.add_argument(
+        "--algorithms",
+        type=lambda text: tuple(part for part in text.split(",") if part),
+        default=None,
+        help="comma-separated protocol subset",
+    )
+    kv.add_argument(
+        "--out", type=str, default=None, help="also write the report to this file"
+    )
     return parser
 
 
@@ -227,6 +263,41 @@ def main(argv: Optional[List[str]] = None, stream=None) -> int:
     """Entry point; returns a process exit code."""
     stream = stream if stream is not None else sys.stdout
     args = build_parser().parse_args(argv)
+
+    if args.command == "kv":
+        from repro.experiments import KV_ALGORITHMS
+
+        algorithms = (
+            args.algorithms if args.algorithms is not None else _KV_DEFAULT_ALGORITHMS
+        )
+        bad = [a for a in algorithms if a not in KV_ALGORITHMS]
+        if bad or not algorithms:
+            detail = f"unknown algorithms {bad}" if bad else "no algorithms given"
+            print(
+                f"repro kv: {detail} (choose from: {', '.join(sorted(KV_ALGORITHMS))})",
+                file=sys.stderr,
+            )
+            return 2
+        config = KVConfig(
+            replicas=args.replicas,
+            keys=args.keys,
+            rounds=args.rounds,
+            ops_per_node=args.ops,
+            users=args.users,
+            zipf=args.zipf,
+            replication=args.replication,
+            shards=args.shards,
+            seed=args.seed,
+            workload=args.workload,
+            budget_bytes=args.budget,
+            repair_interval=args.repair,
+        )
+        started = time.perf_counter()
+        result = run_kv_sweep(config, algorithms)
+        elapsed = time.perf_counter() - started
+        _emit(result.render(), args.out, stream)
+        _emit(f"[kv completed in {elapsed:.1f}s]\n", args.out, stream)
+        return 0
 
     if args.command == "list":
         width = max(len(name) for name in _RUNNERS)

@@ -34,6 +34,15 @@ from repro.experiments.table1 import Table1Result, run_table1
 from repro.experiments.table2 import Table2Result, run_table2
 from repro.experiments.grid import ALL_ALGORITHMS, BASELINE, run_grid
 from repro.experiments.retwis_sweep import RetwisConfig, run_retwis_sweep
+from repro.experiments.kv_sweep import (
+    DEFAULT_ALGORITHMS,
+    KV_ALGORITHMS,
+    KVCell,
+    KVConfig,
+    KVSweepResult,
+    run_kv_cell,
+    run_kv_sweep,
+)
 
 #: Registry mapping artifact identifiers to their drivers.
 EXPERIMENTS = {
@@ -54,6 +63,13 @@ __all__ = [
     "ALL_ALGORITHMS",
     "BASELINE",
     "run_grid",
+    "DEFAULT_ALGORITHMS",
+    "KV_ALGORITHMS",
+    "KVCell",
+    "KVConfig",
+    "KVSweepResult",
+    "run_kv_cell",
+    "run_kv_sweep",
     "RetwisConfig",
     "run_retwis_sweep",
     "Figure1Result",

@@ -1,0 +1,239 @@
+"""The store-level sweep: synchronization protocols under kv traffic.
+
+The paper compares synchronizers on one replicated object; the sharded
+store of :mod:`repro.kv` is where those comparisons meet deployment
+reality — a keyspace of heterogeneous CRDTs, consistent-hash placement
+with a replication factor, and per-shard anti-entropy.  This driver
+replays one deterministic workload (mixed-type Zipf or Retwis) against
+the same ring for each protocol and reports what crossed the wire,
+what stayed resident, and how the scheduler behaved.
+
+The headline result mirrors Figure 11 at store scale: state-based
+pushes whole shard keyspaces every interval and delta-based BP+RR
+ships only the δ-groups of the keys actually written, so its payload
+bytes are a small fraction of state-based's on the identical schedule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional, Sequence, Tuple
+
+from repro.experiments.report import format_table, human_bytes
+from repro.kv.antientropy import AntiEntropyConfig
+from repro.kv.cluster import KVCluster
+from repro.kv.ring import HashRing
+from repro.kv.store import KVStore
+from repro.sync import StateBased, keyed_bp_rr, keyed_classic
+from repro.sync.merkle import MerkleSync
+from repro.workloads.kv import KVRetwisWorkload, KVZipfWorkload
+
+#: Protocols compared at store scale.  Delta-based variants run the
+#: per-object (keyed) algorithm, matching the paper's Retwis deployment.
+KV_ALGORITHMS = {
+    "state-based": StateBased,
+    "delta-based": keyed_classic,
+    "delta-based-bp-rr": keyed_bp_rr,
+    "merkle": MerkleSync,
+}
+
+DEFAULT_ALGORITHMS: Tuple[str, ...] = (
+    "state-based",
+    "delta-based",
+    "delta-based-bp-rr",
+    "merkle",
+)
+
+
+@dataclass(frozen=True)
+class KVConfig:
+    """One sweep cell: cluster shape, keyspace, workload, scheduling."""
+
+    replicas: int = 16
+    keys: int = 1000
+    rounds: int = 20
+    ops_per_node: int = 8
+    users: int = 200
+    zipf: float = 1.0
+    replication: int = 3
+    shards: int = 32
+    seed: int = 42
+    workload: str = "zipf"
+    budget_bytes: Optional[int] = None
+    repair_interval: int = 0
+    batch: bool = True
+
+    def ring(self) -> HashRing:
+        return HashRing(
+            range(self.replicas), n_shards=self.shards, replication=self.replication
+        )
+
+    def make_workload(self, ring: HashRing):
+        if self.workload == "zipf":
+            return KVZipfWorkload(
+                ring,
+                self.rounds,
+                self.ops_per_node,
+                keys=self.keys,
+                zipf_coefficient=self.zipf,
+                seed=self.seed,
+            )
+        if self.workload == "retwis":
+            return KVRetwisWorkload(
+                ring,
+                self.rounds,
+                self.ops_per_node,
+                users=self.users,
+                zipf_coefficient=self.zipf,
+                seed=self.seed,
+            )
+        raise ValueError(f"unknown kv workload {self.workload!r} (zipf | retwis)")
+
+    def antientropy(self) -> AntiEntropyConfig:
+        return AntiEntropyConfig(
+            budget_bytes=self.budget_bytes,
+            repair_interval=self.repair_interval,
+            batch=self.batch,
+        )
+
+
+@dataclass(frozen=True)
+class KVCell:
+    """Everything measured for one protocol."""
+
+    algorithm: str
+    converged: bool
+    drain_rounds: int
+    messages: int
+    payload_bytes: int
+    metadata_bytes: int
+    avg_memory_bytes: float
+    deferred: int
+    repairs: int
+
+    @property
+    def total_bytes(self) -> int:
+        return self.payload_bytes + self.metadata_bytes
+
+
+@dataclass(frozen=True)
+class KVSweepResult:
+    """The sweep across protocols on one workload replay."""
+
+    config: KVConfig
+    workload: str
+    total_updates: int
+    cells: Mapping[str, KVCell]
+
+    def cell(self, algorithm: str) -> KVCell:
+        return self.cells[algorithm]
+
+    def payload_bytes(self, algorithm: str) -> int:
+        return self.cells[algorithm].payload_bytes
+
+    def total_bytes(self, algorithm: str) -> int:
+        return self.cells[algorithm].total_bytes
+
+    def render(self) -> str:
+        config = self.config
+        header = (
+            f"kv store sweep — {self.workload}, {config.replicas} replicas, "
+            f"{config.shards} shards × rf {config.replication}, "
+            f"{self.total_updates} updates, seed {config.seed}"
+        )
+        if config.budget_bytes is not None:
+            header += f", budget {human_bytes(config.budget_bytes)}/tick"
+        rows = []
+        baseline = self.cells.get("delta-based-bp-rr")
+        for label, cell in self.cells.items():
+            ratio = (
+                cell.total_bytes / baseline.total_bytes
+                if baseline and baseline.total_bytes
+                else float("nan")
+            )
+            rows.append(
+                (
+                    label,
+                    cell.converged,
+                    cell.messages,
+                    human_bytes(cell.payload_bytes),
+                    human_bytes(cell.metadata_bytes),
+                    human_bytes(cell.total_bytes),
+                    f"{ratio:.2f}x",
+                    human_bytes(cell.avg_memory_bytes),
+                    cell.drain_rounds,
+                    cell.deferred,
+                )
+            )
+        return format_table(
+            (
+                "algorithm",
+                "converged",
+                "messages",
+                "payload",
+                "metadata",
+                "total",
+                "vs bp+rr",
+                "avg mem",
+                "drain",
+                "deferred",
+            ),
+            rows,
+            title=header,
+        )
+
+
+def run_kv_cell(config: KVConfig, algorithm: str, workload=None) -> KVCell:
+    """Run one protocol against the configured workload replay.
+
+    ``workload`` lets a sweep share one pre-generated schedule across
+    cells; schedules are immutable after construction, so replays stay
+    identical either way.
+    """
+    ring = config.ring()
+    if workload is None:
+        workload = config.make_workload(ring)
+    cluster = KVCluster(
+        ring, KV_ALGORITHMS[algorithm], antientropy=config.antientropy()
+    )
+    cluster.run_rounds(workload.rounds, workload.updates_for)
+    drain_rounds = cluster.drain()
+    deferred = repairs = 0
+    for node in cluster.nodes:
+        assert isinstance(node, KVStore)
+        stats = node.scheduler.stats()
+        deferred += stats["deferred"]
+        repairs += stats["repairs"]
+    return KVCell(
+        algorithm=algorithm,
+        converged=cluster.converged(),
+        drain_rounds=drain_rounds,
+        messages=cluster.metrics.message_count,
+        payload_bytes=cluster.metrics.total_payload_bytes(),
+        metadata_bytes=cluster.metrics.total_metadata_bytes(),
+        avg_memory_bytes=cluster.metrics.average_memory_bytes(),
+        deferred=deferred,
+        repairs=repairs,
+    )
+
+
+def run_kv_sweep(
+    config: KVConfig = KVConfig(),
+    algorithms: Sequence[str] = DEFAULT_ALGORITHMS,
+) -> KVSweepResult:
+    """Sweep protocols over identical workload replays on one ring."""
+    unknown = [a for a in algorithms if a not in KV_ALGORITHMS]
+    if unknown:
+        raise ValueError(
+            f"unknown algorithms {unknown} (known: {sorted(KV_ALGORITHMS)})"
+        )
+    workload = config.make_workload(config.ring())
+    cells: Dict[str, KVCell] = {}
+    for algorithm in algorithms:
+        cells[algorithm] = run_kv_cell(config, algorithm, workload)
+    return KVSweepResult(
+        config=config,
+        workload=workload.name,
+        total_updates=workload.total_updates(),
+        cells=cells,
+    )

@@ -1,0 +1,56 @@
+"""``repro.kv`` — a sharded, replicated CRDT key-value store.
+
+The paper's synchronizers move one replicated object between replicas;
+this package hosts them in a store-shaped deployment — the unit real
+systems ship (Almeida et al.'s delta-CRDT stores, ConflictSync's keyed
+reconciliation):
+
+* :mod:`repro.kv.types` — typed client operations over a heterogeneous
+  keyspace (counters, sets, maps, registers, causal types) with every
+  write funnelled through an optimal δ-mutator;
+* :mod:`repro.kv.ring` — consistent-hash placement of shards onto
+  replica groups with a configurable replication factor;
+* :mod:`repro.kv.antientropy` — per-shard synchronization scheduling:
+  round-robin fairness, a per-tick send budget with delta-batching
+  backpressure, and periodic full-state repair;
+* :mod:`repro.kv.store` — the per-replica engine, itself a
+  :class:`~repro.sync.protocol.Synchronizer`, running any inner
+  protocol per shard;
+* :mod:`repro.kv.cluster` — the store on the simulated network with
+  smart-client routing, per-shard convergence, and partition/crash
+  recovery.
+"""
+
+from repro.kv.antientropy import AntiEntropyConfig, AntiEntropyScheduler
+from repro.kv.cluster import KVCluster, Unavailable
+from repro.kv.ring import HashRing, stable_hash
+from repro.kv.store import KVRoutingError, KVStore, KVUpdate, kv_store_factory
+from repro.kv.types import (
+    DEFAULT_PREFIXES,
+    KVTypeError,
+    Schema,
+    TYPE_REGISTRY,
+    TypeSpec,
+    register_type,
+    type_spec,
+)
+
+__all__ = [
+    "AntiEntropyConfig",
+    "AntiEntropyScheduler",
+    "DEFAULT_PREFIXES",
+    "HashRing",
+    "KVCluster",
+    "KVRoutingError",
+    "KVStore",
+    "KVTypeError",
+    "KVUpdate",
+    "Schema",
+    "TYPE_REGISTRY",
+    "TypeSpec",
+    "Unavailable",
+    "kv_store_factory",
+    "register_type",
+    "stable_hash",
+    "type_spec",
+]

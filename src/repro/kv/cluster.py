@@ -1,0 +1,148 @@
+"""The replicated store on the simulated cluster, faults included.
+
+:class:`KVCluster` specializes :class:`repro.sim.network.Cluster` for
+the sharded store: every simulated node runs a :class:`~repro.kv.store.
+KVStore` process, client requests are routed to a live owner of the
+key's shard (a smart client with a copy of the ring), and convergence
+is judged **per shard** — each replica group must agree on its shard's
+keyspace, while replicas that do not own a shard hold nothing for it.
+
+All of the base cluster's machinery applies unchanged: deterministic
+event-driven delivery, the :class:`~repro.sim.metrics.MetricsCollector`
+byte/unit accounting, message loss, and the fault-injection API
+(:meth:`~repro.sim.network.Cluster.crash`, :meth:`partition`,
+:meth:`heal`, :meth:`recover`).  Combined with the scheduler's periodic
+repair pushes this is the partition/recovery harness: sever a replica
+group, keep writing on both sides, heal, drain, and the group converges
+— for any inner synchronization protocol.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Hashable, List, Optional, Tuple
+
+from repro.kv.antientropy import AntiEntropyConfig
+from repro.kv.ring import HashRing
+from repro.kv.store import KVStore, KVUpdate, kv_store_factory
+from repro.kv.types import Schema
+from repro.lattice.base import Lattice
+from repro.lattice.map_lattice import MapLattice
+from repro.sim.network import Cluster, ClusterConfig
+from repro.sim.topology import Topology, full_mesh
+
+
+class Unavailable(RuntimeError):
+    """No live owner of the key's shard is reachable."""
+
+
+class KVCluster(Cluster):
+    """A simulated cluster of sharded store replicas.
+
+    Args:
+        ring: Placement of shards onto the cluster's node indices; its
+            replica set must be exactly ``0..n-1`` of the topology.
+        inner_factory: Synchronizer factory run per shard per owner
+            (any entry of :data:`repro.sync.ALGORITHMS` or friends).
+        topology: Overlay connecting the replicas; defaults to a full
+            mesh, the common case for a store whose replica groups are
+            ring-scattered.  Every replica group must be connected.
+        schema: Key typing; defaults to the prefix conventions.
+        antientropy: Scheduler knobs (budget, batching, repair).
+        config: Full simulation config; overrides ``topology``.
+    """
+
+    def __init__(
+        self,
+        ring: HashRing,
+        inner_factory,
+        *,
+        topology: Optional[Topology] = None,
+        schema: Optional[Schema] = None,
+        antientropy: Optional[AntiEntropyConfig] = None,
+        config: Optional[ClusterConfig] = None,
+    ) -> None:
+        if config is None:
+            if topology is None:
+                topology = full_mesh(len(ring.replicas))
+            config = ClusterConfig(topology=topology)
+        if ring.replicas != tuple(range(config.topology.n)):
+            raise ValueError(
+                "the ring must place shards on the topology's node indices "
+                f"0..{config.topology.n - 1}, got {ring.replicas}"
+            )
+        self.ring = ring
+        factory = kv_store_factory(
+            ring, inner_factory, schema=schema, antientropy=antientropy
+        )
+        super().__init__(config, factory, MapLattice())
+
+    # ------------------------------------------------------------------
+    # Smart-client request routing.
+    # ------------------------------------------------------------------
+
+    def live_owners(self, key: Hashable) -> Tuple[int, ...]:
+        """The key's owner group with crashed replicas filtered out."""
+        return tuple(o for o in self.ring.owners(key) if o not in self.down)
+
+    def _coordinator(self, key: Hashable) -> int:
+        owners = self.live_owners(key)
+        if not owners:
+            raise Unavailable(
+                f"all owners {self.ring.owners(key)} of key {key!r} are down"
+            )
+        return owners[0]
+
+    def update(self, key: Hashable, op: str, *args) -> Lattice:
+        """Apply a typed write at the first live owner; return the δ."""
+        return self.apply_update(
+            self._coordinator(key), KVUpdate(key, op, tuple(args))
+        )
+
+    def remove(self, key: Hashable) -> Lattice:
+        """Remove ``key`` at the first live owner (observed-remove types)."""
+        node = self.nodes[self._coordinator(key)]
+        assert isinstance(node, KVStore)
+        return node.remove(key)
+
+    def value(self, key: Hashable) -> Any:
+        """Read the typed value from the first live owner."""
+        node = self.nodes[self._coordinator(key)]
+        assert isinstance(node, KVStore)
+        return node.get(key)
+
+    # ------------------------------------------------------------------
+    # Per-shard convergence.
+    # ------------------------------------------------------------------
+
+    def shard_states(self, shard: int) -> List[Lattice]:
+        """The shard's keyspace as held by each live owner."""
+        return [
+            self.nodes[owner].shards[shard].state
+            for owner in self.ring.shard_owners(shard)
+            if owner not in self.down
+        ]
+
+    def shard_converged(self, shard: int) -> bool:
+        """True when every live owner of ``shard`` agrees on it."""
+        states = self.shard_states(shard)
+        return all(state == states[0] for state in states[1:])
+
+    def converged(self) -> bool:
+        """Per-shard agreement across every replica group (live members)."""
+        return all(
+            self.shard_converged(shard) for shard in range(self.ring.n_shards)
+        )
+
+    def key_converged(self, key: Hashable) -> bool:
+        """True when the key's replica group agrees on its value."""
+        return self.shard_converged(self.ring.shard_of(key))
+
+    def merged_keyspace(self) -> MapLattice:
+        """The join of every live replica's keyspace — the global view."""
+        merged = MapLattice()
+        for index, node in enumerate(self.nodes):
+            if index in self.down:
+                continue
+            assert isinstance(node, KVStore)
+            merged = merged.join(node.state)
+        return merged

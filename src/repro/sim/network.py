@@ -22,7 +22,7 @@ from __future__ import annotations
 import random
 import time as _time
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Sequence
+from typing import Callable, FrozenSet, Iterable, List, Optional, Sequence, Tuple
 
 from repro.lattice.base import Lattice
 from repro.sim.events import EventQueue
@@ -94,6 +94,16 @@ class Cluster:
         self._round = 0
         self._loss_rng = random.Random(config.loss_seed)
         self.messages_dropped = 0
+        #: Sends refused before transmission (down peer / severed link).
+        self.messages_blocked = 0
+        #: Workload updates discarded because their node was down.
+        self.updates_skipped = 0
+        self._factory = factory
+        self._bottom = bottom
+        #: Nodes currently crashed: they neither tick nor receive.
+        self.down: set = set()
+        #: Active partition as disjoint node groups (``None`` = healthy).
+        self._groups: Optional[Tuple[FrozenSet[int], ...]] = None
 
     # ------------------------------------------------------------------
     # Driving the simulation.
@@ -168,9 +178,78 @@ class Cluster:
         return self.config.max_drain_rounds
 
     def converged(self) -> bool:
-        """True when every replica holds the same lattice state."""
-        first = self.nodes[0].state
-        return all(node.state == first for node in self.nodes[1:])
+        """True when every live replica holds the same lattice state."""
+        live = [node for i, node in enumerate(self.nodes) if i not in self.down]
+        if len(live) < 2:
+            return True
+        first = live[0].state
+        return all(node.state == first for node in live[1:])
+
+    # ------------------------------------------------------------------
+    # Fault injection: crashes and network partitions.
+    # ------------------------------------------------------------------
+
+    def crash(self, node: int, lose_state: bool = False) -> None:
+        """Take ``node`` down: it stops ticking, sending, and receiving.
+
+        With ``lose_state`` the replica also loses its durable state and
+        comes back as a fresh bottom replica (disk loss); otherwise it
+        resumes from the state it crashed with (process restart).
+        """
+        if not 0 <= node < self.topology.n:
+            raise ValueError(f"no such node {node}")
+        self.down.add(node)
+        if lose_state:
+            self.nodes[node] = self._factory(
+                node,
+                self.topology.neighbors(node),
+                self._bottom,
+                self.topology.n,
+                self.config.size_model,
+            )
+
+    def recover(self, node: int) -> None:
+        """Bring a crashed node back into the cluster."""
+        self.down.discard(node)
+
+    def partition(self, *groups: Iterable[int]) -> None:
+        """Sever every link between nodes of different ``groups``.
+
+        Nodes not named in any group form one implicit extra group, so
+        ``partition([0, 1])`` isolates nodes 0-1 from everyone else.
+        """
+        explicit = [frozenset(group) for group in groups]
+        seen: set = set()
+        for group in explicit:
+            out_of_range = [n for n in group if not 0 <= n < self.topology.n]
+            if out_of_range:
+                raise ValueError(f"no such nodes {sorted(out_of_range)}")
+            if group & seen:
+                raise ValueError("partition groups must be disjoint")
+            seen |= group
+        rest = frozenset(range(self.topology.n)) - seen
+        if rest:
+            explicit.append(rest)
+        self._groups = tuple(explicit)
+
+    def heal(self) -> None:
+        """Restore full connectivity (crashed nodes stay down)."""
+        self._groups = None
+
+    @property
+    def partitioned(self) -> bool:
+        return self._groups is not None
+
+    def link_up(self, src: int, dst: int) -> bool:
+        """True when a message can currently travel ``src → dst``."""
+        if src in self.down or dst in self.down:
+            return False
+        if self._groups is None:
+            return True
+        for group in self._groups:
+            if src in group:
+                return dst in group
+        return True
 
     @property
     def rounds_run(self) -> int:
@@ -186,11 +265,18 @@ class Cluster:
 
     def _update_action(self, event) -> None:
         node, mutators = event.payload
+        if node in self.down:
+            # The client's replica is gone; its scheduled operations
+            # are lost, and visibly so.
+            self.updates_skipped += len(mutators)
+            return
         for mutator in mutators:
             self.apply_update(node, mutator)
 
     def _sync_action(self, event) -> None:
         node: int = event.payload
+        if node in self.down:
+            return
         synchronizer = self.nodes[node]
         started = _time.perf_counter()
         sends = synchronizer.sync_messages()
@@ -201,6 +287,11 @@ class Cluster:
 
     def _deliver_action(self, event) -> None:
         src, dst, message = event.payload
+        if not self.link_up(src, dst):
+            # The destination crashed — or the link was severed — while
+            # the message was in flight.
+            self.messages_dropped += 1
+            return
         synchronizer = self.nodes[dst]
         started = _time.perf_counter()
         replies = synchronizer.handle_message(src, message)
@@ -215,6 +306,11 @@ class Cluster:
                 raise ValueError(
                     f"node {src} attempted to message non-neighbour {send.dst}"
                 )
+            if not self.link_up(src, send.dst):
+                # Connection refused: nothing crossed the wire, so the
+                # send is not recorded as transmission.
+                self.messages_blocked += 1
+                continue
             self.metrics.record_message(
                 MessageRecord(
                     time=self.queue.now,
@@ -247,6 +343,8 @@ class Cluster:
 
     def _sample_memory(self, at: float) -> None:
         for index, node in enumerate(self.nodes):
+            if index in self.down:
+                continue
             self.metrics.record_memory(
                 MemorySample(
                     time=at,

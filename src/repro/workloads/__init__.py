@@ -8,7 +8,10 @@
 * :mod:`repro.workloads.retwis` — the Retwis Twitter-clone application
   workload of Table II (Follow 15 %, Post 35 %, Timeline 50 %);
 * :mod:`repro.workloads.causal` — add/remove churn over causal CRDTs,
-  the Appendix B evaluation substrate.
+  the Appendix B evaluation substrate;
+* :mod:`repro.workloads.kv` — typed, owner-routed operation streams
+  over the sharded store of :mod:`repro.kv` (mixed-type Zipf and the
+  Retwis application recast per key).
 """
 
 from repro.workloads.base import Workload
@@ -22,8 +25,11 @@ from repro.workloads.micro import (
 )
 from repro.workloads.zipf import ZipfSampler
 from repro.workloads.retwis import RetwisWorkload, RetwisStats
+from repro.workloads.kv import KVRetwisWorkload, KVZipfWorkload
 
 __all__ = [
+    "KVRetwisWorkload",
+    "KVZipfWorkload",
     "Workload",
     "AWSetChurnWorkload",
     "GCounterWorkload",

@@ -1,0 +1,233 @@
+"""The per-replica store engine: typing, routing, scheduling, framing."""
+
+import pytest
+
+from repro.kv import (
+    AntiEntropyConfig,
+    HashRing,
+    KVCluster,
+    KVRoutingError,
+    KVStore,
+    KVTypeError,
+    KVUpdate,
+    Schema,
+    kv_store_factory,
+    type_spec,
+)
+from repro.lattice import MapLattice
+from repro.sizes import SizeModel
+from repro.sync import StateBased, keyed_bp_rr
+
+MODEL = SizeModel()
+
+
+def make_store(replica=0, n=4, replication=2, inner=keyed_bp_rr, **kwargs):
+    ring = HashRing(range(n), replication=replication, n_shards=8)
+    factory = kv_store_factory(ring, inner, **kwargs)
+    neighbors = [i for i in range(n) if i != replica]
+    return ring, factory(replica, neighbors, MapLattice(), n, MODEL)
+
+
+class TestSchema:
+    def test_prefix_resolution(self):
+        schema = Schema()
+        assert schema.type_of("cnt:balance") == "pncounter"
+        assert schema.type_of("aws:cart") == "awset"
+        assert schema.type_of("flw:0000042") == "gset"
+
+    def test_explicit_binding_wins(self):
+        schema = Schema()
+        schema.bind("cnt:weird", "gcounter")
+        assert schema.type_of("cnt:weird") == "gcounter"
+
+    def test_unresolvable_key(self):
+        with pytest.raises(KVTypeError, match="cannot type"):
+            Schema().type_of("mystery")
+
+    def test_default_type(self):
+        schema = Schema(default="lwwregister")
+        assert schema.type_of("anything") == "lwwregister"
+
+    def test_unknown_type_rejected_eagerly(self):
+        with pytest.raises(KVTypeError, match="unknown CRDT type"):
+            Schema().bind("k", "no-such-type")
+
+
+class TestTypeSpecs:
+    def test_unknown_operation(self):
+        with pytest.raises(KVTypeError, match="no operation"):
+            type_spec("gcounter").apply("A", None, "decrement", 1)
+
+    def test_grow_only_types_cannot_be_removed(self):
+        with pytest.raises(KVTypeError, match="grow-only"):
+            type_spec("gset").remove_delta("A", None)
+
+    def test_apply_does_not_mutate_the_input_state(self):
+        spec = type_spec("gcounter")
+        state = spec.bottom()
+        delta = spec.apply("A", state, "increment", 3)
+        assert state.is_bottom
+        assert spec.read(delta) == 3
+
+
+class TestTypedApi:
+    def test_heterogeneous_keyspace(self):
+        _, store = make_store(replica=0, n=2, replication=2)
+        store.update("gct:hits", "increment", 2)
+        store.update("cnt:score", "increment", 5)
+        store.update("cnt:score", "decrement", 1)
+        store.update("set:tags", "add", "x")
+        store.update("aws:cart", "add", "milk")
+        store.update("reg:motd", "write", "hi", 7)
+        assert store.get("gct:hits") == 2
+        assert store.get("cnt:score") == 4
+        assert store.get("set:tags") == {"x"}
+        assert store.get("aws:cart") == frozenset({"milk"})
+        assert store.get("reg:motd") == "hi"
+
+    def test_unwritten_key_reads_bottom(self):
+        _, store = make_store(replica=0, n=2, replication=2)
+        assert store.get("set:empty") == set()
+        assert store.value_lattice("set:empty") is None
+
+    def test_duplicate_add_produces_bottom_delta(self):
+        _, store = make_store(replica=0, n=2, replication=2)
+        assert not store.update("set:tags", "add", "x").is_bottom
+        assert store.update("set:tags", "add", "x").is_bottom
+
+    def test_observed_remove(self):
+        _, store = make_store(replica=0, n=2, replication=2)
+        store.update("aws:cart", "add", "milk")
+        store.remove("aws:cart")
+        assert store.get("aws:cart") == frozenset()
+
+    def test_routing_rejected_for_unowned_key(self):
+        ring, store = make_store(replica=0, n=6, replication=2)
+        foreign = next(
+            f"set:{i}" for i in range(1000) if 0 not in ring.owners(f"set:{i}")
+        )
+        with pytest.raises(KVRoutingError):
+            store.update(foreign, "add", "x")
+        with pytest.raises(KVRoutingError):
+            store.get(foreign)
+
+    def test_raw_mutators_are_rejected(self):
+        _, store = make_store(replica=0, n=2, replication=2)
+        with pytest.raises(TypeError, match="KVUpdate"):
+            store.local_update(lambda state: state)
+
+    def test_keys_lists_written_keys(self):
+        _, store = make_store(replica=0, n=2, replication=2)
+        store.update("set:a", "add", "x")
+        store.update("gct:b", "increment")
+        assert set(store.keys()) == {"set:a", "gct:b"}
+
+
+class TestWireFraming:
+    def test_batched_frames_merge_per_destination(self):
+        _, store = make_store(replica=0, n=2, replication=2)
+        for i in range(12):
+            store.update(f"set:{i:03d}", "add", f"e{i}")
+        sends = store.sync_messages()
+        assert sends
+        for send in sends:
+            assert send.message.kind == "kv-batch"
+            entries = send.message.payload
+            # Framing adds one shard tag per bundled message.
+            assert send.message.metadata_units == sum(
+                m.metadata_units for _, m in entries
+            ) + len(entries)
+            assert send.message.payload_bytes == sum(
+                m.payload_bytes for _, m in entries
+            )
+        # One batch per destination.
+        assert len({send.dst for send in sends}) == len(sends)
+
+    def test_unbatched_frames_are_single_shard(self):
+        _, store = make_store(
+            replica=0, n=2, replication=2,
+            antientropy=AntiEntropyConfig(batch=False),
+        )
+        for i in range(12):
+            store.update(f"set:{i:03d}", "add", f"e{i}")
+        sends = store.sync_messages()
+        assert all(send.message.kind == "kv-shard" for send in sends)
+        assert len(sends) > 1
+
+    def test_unexpected_wire_kind_rejected(self):
+        from repro.sync.protocol import Message
+
+        _, store = make_store(replica=0, n=2, replication=2)
+        with pytest.raises(ValueError, match="unexpected wire"):
+            store.handle_message(1, Message("delta", MapLattice(), 0, 0, 0))
+
+
+class TestScheduler:
+    def test_budget_defers_shards_and_backpressure_batches(self):
+        """A tiny budget defers most shards; nothing is ever lost."""
+        ring = HashRing(range(4), replication=2, n_shards=8)
+        cluster = KVCluster(
+            ring, keyed_bp_rr,
+            antientropy=AntiEntropyConfig(budget_bytes=64),
+        )
+        for i in range(32):
+            cluster.update(f"set:{i:03d}", "add", f"e{i}")
+        cluster.run_round(updates=None)
+        deferred = sum(
+            node.scheduler.stats()["deferred"] for node in cluster.nodes
+        )
+        assert deferred > 0
+        cluster.drain()
+        assert cluster.converged()
+        for i in range(32):
+            assert cluster.value(f"set:{i:03d}") == {f"e{i}"}
+
+    def test_repair_pushes_full_state_periodically(self):
+        ring = HashRing(range(3), replication=3, n_shards=4)
+        cluster = KVCluster(
+            ring, StateBased,
+            antientropy=AntiEntropyConfig(repair_interval=2, repair_fanout=4),
+        )
+        cluster.update("set:x", "add", "a")
+        for _ in range(4):
+            cluster.run_round(updates=None)
+        repairs = sum(node.scheduler.stats()["repairs"] for node in cluster.nodes)
+        assert repairs > 0
+
+    def test_bad_configs_rejected(self):
+        with pytest.raises(ValueError):
+            AntiEntropyConfig(budget_bytes=0)
+        with pytest.raises(ValueError):
+            AntiEntropyConfig(repair_interval=-1)
+        with pytest.raises(ValueError):
+            AntiEntropyConfig(repair_fanout=0)
+
+
+class TestStoreAsSynchronizer:
+    def test_keyspace_must_start_empty(self):
+        from repro.lattice import MaxInt
+
+        ring = HashRing(range(2), replication=2, n_shards=4)
+        factory = kv_store_factory(ring, keyed_bp_rr)
+        with pytest.raises(TypeError, match="empty MapLattice"):
+            factory(0, [1], MapLattice({"k": MaxInt(1)}), 2, MODEL)
+
+    def test_disconnected_replica_group_rejected(self):
+        ring = HashRing(range(3), replication=3, n_shards=2)
+        factory = kv_store_factory(ring, keyed_bp_rr)
+        with pytest.raises(ValueError, match="cannot reach co-owners"):
+            factory(0, [1], MapLattice(), 3, MODEL)  # replica 2 unreachable
+
+    def test_memory_accounting_sums_shards(self):
+        _, store = make_store(replica=0, n=2, replication=2)
+        store.update("set:a", "add", "x")
+        store.update("gct:b", "increment")
+        assert store.state_units() == store.state.size_units()
+        assert store.buffer_units() > 0  # δ-buffers hold the two deltas
+        store.sync_messages()
+        assert store.buffer_units() == 0
+
+    def test_factory_is_labelled_for_reports(self):
+        ring = HashRing(range(2), replication=2)
+        factory = kv_store_factory(ring, keyed_bp_rr)
+        assert factory.name == "kv[delta-based-bp-rr]"
