@@ -7,18 +7,20 @@ BP+RR anti-entropy per shard.  The demo walks through:
 1. typed writes on a mixed keyspace — counters, sets, registers,
    an add-wins shopping cart — routed to shard owners by the ring;
 2. convergence of every replica group after a few sync rounds;
-3. a network partition with writes on both sides, healed by the
-   scheduler's periodic full-state repair;
+3. a network partition with writes on both sides, healed by
+   divergence-driven repair: digest probes over cold δ-paths that ship
+   only the missing join decomposition;
 4. a replica crash that loses its disk, restored the same way;
 5. the bandwidth story: the identical workload under full-state push
-   versus delta-based BP+RR.
+   versus delta-based BP+RR, and the identical fault schedule under
+   blanket full-state repair versus digest-escalated repair.
 
 Run with::
 
     python examples/kv_store_demo.py
 """
 
-from repro.experiments import KVConfig, run_kv_sweep
+from repro.experiments import KVConfig, run_kv_repair_comparison, run_kv_sweep
 from repro.kv import AntiEntropyConfig, HashRing, KVCluster
 from repro.sync import StateBased, keyed_bp_rr
 
@@ -28,7 +30,9 @@ def main() -> None:
     cluster = KVCluster(
         ring,
         keyed_bp_rr,
-        antientropy=AntiEntropyConfig(repair_interval=3, repair_fanout=8),
+        antientropy=AntiEntropyConfig(
+            repair_interval=3, repair_fanout=8, repair_mode="digest"
+        ),
     )
 
     print("ring placement (first shards):")
@@ -84,6 +88,19 @@ def main() -> None:
     print(f"  state-based       {state:>9,} bytes on the wire")
     print(f"  delta-based BP+RR {delta:>9,} bytes on the wire "
           f"({delta / state:.1%} of full-state push)")
+
+    # --- 6. Repair bytes: blanket push vs divergence-driven digests. --
+    faults = run_kv_repair_comparison(
+        KVConfig(replicas=6, keys=200, rounds=9, ops_per_node=4, shards=16,
+                 repair_interval=3, repair_fanout=8)
+    )
+    blanket = faults.cell("blanket")
+    digest = faults.cell("digest")
+    print(f"\nsame faults (partition + heal + crash with disk loss):")
+    print(f"  blanket repair    {blanket.repair_bytes:>9,} repair bytes")
+    print(f"  digest repair     {digest.repair_bytes:>9,} repair bytes "
+          f"({digest.repair_bytes / blanket.repair_bytes:.1%}, "
+          f"{digest.probes} probes)")
 
 
 if __name__ == "__main__":

@@ -10,6 +10,7 @@ without writing a driver script::
     python -m repro run all --scale ci
     python -m repro kv --replicas 16 --keys 1000 --workload zipf
     python -m repro kv --workload retwis --zipf 1.5 --budget 4096
+    python -m repro kv --repair 4 --repair-mode digest --faults
 
 Each run prints the same plain-text table the corresponding
 ``benchmarks/bench_*.py`` target produces, so CLI output can be diffed
@@ -30,6 +31,7 @@ from repro.experiments import (
     DEFAULT_ALGORITHMS as _KV_DEFAULT_ALGORITHMS,
     KVConfig,
     RetwisConfig,
+    run_kv_repair_comparison,
     run_kv_sweep,
     run_appendixb,
     run_figure1,
@@ -238,7 +240,35 @@ def build_parser() -> argparse.ArgumentParser:
         "--budget", type=int, default=None, help="anti-entropy bytes per tick per node"
     )
     kv.add_argument(
-        "--repair", type=int, default=0, help="full-state repair interval in ticks"
+        "--repair",
+        type=int,
+        default=None,
+        help=(
+            "repair interval in ticks: blanket pushes every N ticks, or the "
+            "digest-mode coldness threshold (0 disables repair; default 0, "
+            "or 4 when --faults or --repair-mode digest is given)"
+        ),
+    )
+    kv.add_argument(
+        "--repair-mode",
+        choices=("blanket", "digest"),
+        default="blanket",
+        help="full-state pushes on a timer, or divergence-driven digest probes",
+    )
+    kv.add_argument(
+        "--repair-fanout",
+        type=int,
+        default=1,
+        help="shards repaired/probed per tick",
+    )
+    kv.add_argument(
+        "--faults",
+        action="store_true",
+        help=(
+            "run the seeded fault scenario (partition + heal + crash with "
+            "disk loss) comparing blanket vs digest repair instead of the "
+            "protocol sweep"
+        ),
     )
     kv.add_argument(
         "--algorithms",
@@ -278,6 +308,13 @@ def main(argv: Optional[List[str]] = None, stream=None) -> int:
                 file=sys.stderr,
             )
             return 2
+        if args.faults and args.algorithms and len(args.algorithms) > 1:
+            print(
+                "repro kv: --faults compares repair modes for one inner "
+                "protocol; pass a single --algorithms entry",
+                file=sys.stderr,
+            )
+            return 2
         config = KVConfig(
             replicas=args.replicas,
             keys=args.keys,
@@ -290,10 +327,21 @@ def main(argv: Optional[List[str]] = None, stream=None) -> int:
             seed=args.seed,
             workload=args.workload,
             budget_bytes=args.budget,
-            repair_interval=args.repair,
+            # --faults and an explicit digest mode are meaningless with
+            # repair disabled, so when --repair is *unset* they default
+            # to a working interval; an explicit --repair 0 is honored.
+            repair_interval=args.repair
+            if args.repair is not None
+            else (4 if args.faults or args.repair_mode == "digest" else 0),
+            repair_mode=args.repair_mode,
+            repair_fanout=args.repair_fanout,
         )
         started = time.perf_counter()
-        result = run_kv_sweep(config, algorithms)
+        if args.faults:
+            inner = args.algorithms[0] if args.algorithms else "delta-based-bp-rr"
+            result = run_kv_repair_comparison(config, algorithm=inner)
+        else:
+            result = run_kv_sweep(config, algorithms)
         elapsed = time.perf_counter() - started
         _emit(result.render(), args.out, stream)
         _emit(f"[kv completed in {elapsed:.1f}s]\n", args.out, stream)

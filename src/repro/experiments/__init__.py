@@ -39,8 +39,11 @@ from repro.experiments.kv_sweep import (
     KV_ALGORITHMS,
     KVCell,
     KVConfig,
+    KVRepairComparison,
     KVSweepResult,
     run_kv_cell,
+    run_kv_repair_cell,
+    run_kv_repair_comparison,
     run_kv_sweep,
 )
 
@@ -67,8 +70,11 @@ __all__ = [
     "KV_ALGORITHMS",
     "KVCell",
     "KVConfig",
+    "KVRepairComparison",
     "KVSweepResult",
     "run_kv_cell",
+    "run_kv_repair_cell",
+    "run_kv_repair_comparison",
     "run_kv_sweep",
     "RetwisConfig",
     "run_retwis_sweep",

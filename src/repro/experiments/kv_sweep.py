@@ -12,6 +12,16 @@ The headline result mirrors Figure 11 at store scale: state-based
 pushes whole shard keyspaces every interval and delta-based BP+RR
 ships only the δ-groups of the keys actually written, so its payload
 bytes are a small fraction of state-based's on the identical schedule.
+
+:func:`run_kv_repair_comparison` is the recovery-path counterpart: one
+seeded fault schedule (partition with writes on both sides, heal, crash
+with disk loss, recover) replayed under blanket full-state repair and
+under divergence-driven digest repair, at equal per-shard convergence.
+Digest repair probes cold δ-paths with one Merkle root and ships only
+the inflating join decomposition on mismatch, so its repair payload
+bytes are a fraction of the blanket pushes the store previously relied
+on — the ConflictSync argument (Gomes et al., PAPERS.md) measured on
+this store.
 """
 
 from __future__ import annotations
@@ -20,10 +30,9 @@ from dataclasses import dataclass, field
 from typing import Dict, Mapping, Optional, Sequence, Tuple
 
 from repro.experiments.report import format_table, human_bytes
-from repro.kv.antientropy import AntiEntropyConfig
+from repro.kv.antientropy import REPAIR_MODES, AntiEntropyConfig
 from repro.kv.cluster import KVCluster
 from repro.kv.ring import HashRing
-from repro.kv.store import KVStore
 from repro.sync import StateBased, keyed_bp_rr, keyed_classic
 from repro.sync.merkle import MerkleSync
 from repro.workloads.kv import KVRetwisWorkload, KVZipfWorkload
@@ -61,6 +70,8 @@ class KVConfig:
     workload: str = "zipf"
     budget_bytes: Optional[int] = None
     repair_interval: int = 0
+    repair_fanout: int = 1
+    repair_mode: str = "blanket"
     batch: bool = True
 
     def ring(self) -> HashRing:
@@ -93,6 +104,8 @@ class KVConfig:
         return AntiEntropyConfig(
             budget_bytes=self.budget_bytes,
             repair_interval=self.repair_interval,
+            repair_fanout=self.repair_fanout,
+            repair_mode=self.repair_mode,
             batch=self.batch,
         )
 
@@ -110,10 +123,20 @@ class KVCell:
     avg_memory_bytes: float
     deferred: int
     repairs: int
+    probes: int = 0
+    repair_payload_bytes: int = 0
+    repair_metadata_bytes: int = 0
+    messages_dropped: int = 0
+    messages_severed: int = 0
 
     @property
     def total_bytes(self) -> int:
         return self.payload_bytes + self.metadata_bytes
+
+    @property
+    def repair_bytes(self) -> int:
+        """Everything the repair path moved: payloads plus digests."""
+        return self.repair_payload_bytes + self.repair_metadata_bytes
 
 
 @dataclass(frozen=True)
@@ -198,12 +221,11 @@ def run_kv_cell(config: KVConfig, algorithm: str, workload=None) -> KVCell:
     )
     cluster.run_rounds(workload.rounds, workload.updates_for)
     drain_rounds = cluster.drain()
-    deferred = repairs = 0
-    for node in cluster.nodes:
-        assert isinstance(node, KVStore)
-        stats = node.scheduler.stats()
-        deferred += stats["deferred"]
-        repairs += stats["repairs"]
+    return _measure_cell(cluster, algorithm, drain_rounds)
+
+
+def _measure_cell(cluster: KVCluster, algorithm: str, drain_rounds: int) -> KVCell:
+    stats = cluster.scheduler_stats()
     return KVCell(
         algorithm=algorithm,
         converged=cluster.converged(),
@@ -212,8 +234,140 @@ def run_kv_cell(config: KVConfig, algorithm: str, workload=None) -> KVCell:
         payload_bytes=cluster.metrics.total_payload_bytes(),
         metadata_bytes=cluster.metrics.total_metadata_bytes(),
         avg_memory_bytes=cluster.metrics.average_memory_bytes(),
-        deferred=deferred,
-        repairs=repairs,
+        deferred=stats["deferred"],
+        repairs=stats["repairs"],
+        probes=stats["probes"],
+        repair_payload_bytes=stats["repair_payload_bytes"],
+        repair_metadata_bytes=stats["repair_metadata_bytes"],
+        messages_dropped=cluster.messages_dropped,
+        messages_severed=cluster.messages_severed,
+    )
+
+
+@dataclass(frozen=True)
+class KVRepairComparison:
+    """Blanket vs divergence-driven repair on one seeded fault replay."""
+
+    config: KVConfig
+    algorithm: str
+    workload: str
+    total_updates: int
+    cells: Mapping[str, KVCell]
+
+    def cell(self, mode: str) -> KVCell:
+        return self.cells[mode]
+
+    def render(self) -> str:
+        config = self.config
+        header = (
+            f"kv repair comparison — {self.algorithm} inner protocol, "
+            f"{config.replicas} replicas, {config.shards} shards × rf "
+            f"{config.replication}, partition + heal + crash(lose_state), "
+            f"repair interval {config.repair_interval}, seed {config.seed}"
+        )
+        rows = []
+        for mode, cell in self.cells.items():
+            rows.append(
+                (
+                    mode,
+                    cell.converged,
+                    cell.drain_rounds,
+                    cell.repairs,
+                    cell.probes,
+                    human_bytes(cell.repair_payload_bytes),
+                    human_bytes(cell.repair_metadata_bytes),
+                    human_bytes(cell.repair_bytes),
+                    human_bytes(cell.total_bytes),
+                    cell.messages_severed,
+                    cell.messages_dropped,
+                )
+            )
+        return format_table(
+            (
+                "repair mode",
+                "converged",
+                "drain",
+                "repairs",
+                "probes",
+                "repair payload",
+                "repair digests",
+                "repair total",
+                "wire total",
+                "severed",
+                "dropped",
+            ),
+            rows,
+            title=header,
+        )
+
+
+def run_kv_repair_cell(
+    config: KVConfig, algorithm: str, mode: str, workload=None
+) -> KVCell:
+    """One fault replay: partition with writes on both sides, heal,
+    crash with disk loss, recover, drain to per-shard convergence.
+
+    The schedule is fully deterministic given ``config.seed``, so the
+    two repair modes see byte-identical update traffic and divergence;
+    only the recovery path differs.
+    """
+    if config.repair_interval < 1:
+        raise ValueError(
+            "the fault scenario depends on the recovery path: set "
+            "repair_interval >= 1 (0 disables repair entirely)"
+        )
+    ring = config.ring()
+    if workload is None:
+        workload = config.make_workload(ring)
+    antientropy = AntiEntropyConfig(
+        budget_bytes=config.budget_bytes,
+        repair_interval=config.repair_interval,
+        repair_fanout=config.repair_fanout,
+        repair_mode=mode,
+        batch=config.batch,
+    )
+    cluster = KVCluster(ring, KV_ALGORITHMS[algorithm], antientropy=antientropy)
+
+    phase = max(1, workload.rounds // 3)
+    updates = workload.updates_for
+    # Healthy traffic, then a partition that keeps absorbing writes on
+    # both sides (synchronization across the cut is refused and the
+    # flushed δ-groups are gone), then heal.
+    cluster.run_rounds(phase, updates)
+    cluster.partition(range(config.replicas // 2))
+    for round_index in range(phase, 2 * phase):
+        cluster.run_round(lambda node, r=round_index: updates(r, node))
+    cluster.heal()
+    # A replica loses its disk while the remaining schedule plays out.
+    victim = config.replicas - 1
+    cluster.crash(victim, lose_state=True)
+    for round_index in range(2 * phase, workload.rounds):
+        cluster.run_round(lambda node, r=round_index: updates(r, node))
+    cluster.recover(victim)
+    drain_rounds = cluster.drain()
+    return _measure_cell(cluster, algorithm, drain_rounds)
+
+
+def run_kv_repair_comparison(
+    config: KVConfig = KVConfig(repair_interval=4, repair_fanout=8),
+    algorithm: str = "delta-based-bp-rr",
+    modes: Sequence[str] = REPAIR_MODES,
+) -> KVRepairComparison:
+    """Replay the identical fault schedule under each repair mode."""
+    if algorithm not in KV_ALGORITHMS:
+        raise ValueError(
+            f"unknown algorithm {algorithm!r} (known: {sorted(KV_ALGORITHMS)})"
+        )
+    workload = config.make_workload(config.ring())
+    cells: Dict[str, KVCell] = {}
+    for mode in modes:
+        cells[mode] = run_kv_repair_cell(config, algorithm, mode, workload)
+    return KVRepairComparison(
+        config=config,
+        algorithm=algorithm,
+        workload=workload.name,
+        total_updates=workload.total_updates(),
+        cells=cells,
     )
 
 

@@ -12,7 +12,9 @@ reconciliation):
   replica groups with a configurable replication factor;
 * :mod:`repro.kv.antientropy` — per-shard synchronization scheduling:
   round-robin fairness, a per-tick send budget with delta-batching
-  backpressure, and periodic full-state repair;
+  backpressure, and repair in two modes — blanket full-state pushes on
+  a timer, or divergence-driven digest probes over cold δ-paths that
+  escalate to shipping only the missing join decomposition;
 * :mod:`repro.kv.store` — the per-replica engine, itself a
   :class:`~repro.sync.protocol.Synchronizer`, running any inner
   protocol per shard;
@@ -21,7 +23,7 @@ reconciliation):
   recovery.
 """
 
-from repro.kv.antientropy import AntiEntropyConfig, AntiEntropyScheduler
+from repro.kv.antientropy import REPAIR_MODES, AntiEntropyConfig, AntiEntropyScheduler
 from repro.kv.cluster import KVCluster, Unavailable
 from repro.kv.ring import HashRing, stable_hash
 from repro.kv.store import KVRoutingError, KVStore, KVUpdate, kv_store_factory
@@ -45,6 +47,7 @@ __all__ = [
     "KVStore",
     "KVTypeError",
     "KVUpdate",
+    "REPAIR_MODES",
     "Schema",
     "TYPE_REGISTRY",
     "TypeSpec",

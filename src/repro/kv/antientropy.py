@@ -1,9 +1,9 @@
-"""Per-shard anti-entropy scheduling with a send budget and repair.
+"""Per-shard anti-entropy scheduling: budget, backpressure, and repair.
 
 A replica of the sharded store runs one synchronizer instance per owned
 shard.  Left alone, every shard would flush its δ-buffer on every tick;
 under heavy multi-key traffic that can exceed what the replica's uplink
-should spend per interval.  The scheduler imposes the store's two
+should spend per interval.  The scheduler imposes the store's
 operational knobs:
 
 * **send budget** — an upper bound on synchronization bytes planned per
@@ -15,14 +15,30 @@ operational knobs:
   same mechanism the paper exploits by synchronizing once per interval
   rather than per update, extended across a keyspace.
 
-* **periodic repair** — every ``repair_interval`` ticks the next
-  ``repair_fanout`` shards (again round-robin) push their full shard
-  state to the other owners.  Algorithm 1 clears δ-buffers on send, so
-  a δ-group lost to a crashed peer or a severed link is gone; repair
-  restores convergence after partitions and crash-recovery the way
-  Dynamo-style stores run background anti-entropy next to the fast
-  delta path.  Repair is protocol-agnostic: full states join into any
-  synchronizer's replica state.
+* **repair** — Algorithm 1 clears δ-buffers on send, so a δ-group lost
+  to a crashed peer or a severed link is gone; repair restores
+  convergence after partitions and crash-recovery the way Dynamo-style
+  stores run background anti-entropy next to the fast delta path.  Two
+  modes:
+
+  - ``"blanket"``: every ``repair_interval`` ticks the next
+    ``repair_fanout`` shards (round-robin) push their full shard state
+    to the other owners — simple, correct, and exactly the redundant
+    transmission the paper exists to eliminate;
+  - ``"digest"`` (divergence-driven): the scheduler tracks, per
+    (shard, peer) pair, how many ticks have passed since that δ-path
+    last shipped or absorbed a delta, plus *suspicion* raised when a
+    send to the peer was refused (crash / severed link).  A δ-path that
+    stays cold for ``repair_interval`` ticks triggers a **digest
+    probe** — one root hash over the shard's irreducible-set digest
+    (:func:`repro.sync.digest.root_of`), O(hash) to compare — instead
+    of a state push.  Matching roots end the exchange; a mismatch
+    escalates to a fingerprint-digest diff that ships only the
+    inflating join decomposition (the ConflictSync shape: Gomes et
+    al., PAPERS.md).
+    The store reports arriving repair traffic back through
+    :meth:`AntiEntropyScheduler.note_repair_traffic`, so repair-byte
+    budgets are observable per replica (and refused sends never count).
 
 The scheduler is deliberately deterministic — cursors, not randomness —
 so simulated runs replay identically for every algorithm under test.
@@ -31,9 +47,12 @@ so simulated runs replay identically for every algorithm under test.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
 
 from repro.sync.protocol import Send, Synchronizer
+
+#: Valid values of :attr:`AntiEntropyConfig.repair_mode`.
+REPAIR_MODES = ("blanket", "digest")
 
 
 @dataclass(frozen=True)
@@ -43,14 +62,21 @@ class AntiEntropyConfig:
     Attributes:
         budget_bytes: Cap on planned synchronization bytes per tick per
             replica (``None`` = unlimited).  At least one shard is
-            always served so progress is guaranteed.  Repair pushes are
-            exempt: they are the recovery safety net, and starving them
+            always served so progress is guaranteed.  Repair traffic is
+            exempt: it is the recovery safety net, and starving it
             under budget pressure would let a reset or partitioned
             replica stay divergent indefinitely.
-        repair_interval: Push full shard states every this many ticks
-            (0 disables repair; required for partition/crash recovery
-            when the inner protocol clears buffers on send).
-        repair_fanout: Shards repaired per repair tick.
+        repair_interval: In ``"blanket"`` mode, push full shard states
+            every this many ticks; in ``"digest"`` mode, probe a
+            (shard, peer) δ-path once it has been cold (no delta
+            shipped or absorbed) for this many ticks.  0 disables
+            repair; some form of repair is required for partition and
+            crash recovery when the inner protocol clears buffers on
+            send.
+        repair_fanout: Shards repaired (blanket) or probed (digest) per
+            tick, round-robin.
+        repair_mode: ``"blanket"`` (full-state push on a timer) or
+            ``"digest"`` (divergence-driven probes; see module doc).
         batch: Bundle all same-destination shard messages of a tick
             into one wire message (per-message framing is paid once).
     """
@@ -58,6 +84,7 @@ class AntiEntropyConfig:
     budget_bytes: Optional[int] = None
     repair_interval: int = 0
     repair_fanout: int = 1
+    repair_mode: str = "blanket"
     batch: bool = True
 
     def __post_init__(self) -> None:
@@ -67,37 +94,135 @@ class AntiEntropyConfig:
             raise ValueError("repair_interval must be non-negative")
         if self.repair_fanout < 1:
             raise ValueError("repair_fanout must be at least 1")
+        if self.repair_mode not in REPAIR_MODES:
+            raise ValueError(
+                f"repair_mode must be one of {REPAIR_MODES}, got {self.repair_mode!r}"
+            )
 
 
 class AntiEntropyScheduler:
-    """Round-robin shard scheduling under a per-tick byte budget."""
+    """Round-robin shard scheduling under a per-tick byte budget.
 
-    def __init__(self, config: AntiEntropyConfig, shard_ids: Sequence[int]) -> None:
+    Args:
+        config: The scheduling knobs.
+        shard_ids: The shards this replica owns.
+        shard_peers: For each owned shard, the co-owner replicas —
+            required for digest-mode repair (coldness is tracked per
+            (shard, peer) δ-path); optional otherwise.
+        replica: This replica's own index.  When given, *coldness*
+            probes use a pair tiebreak — only the lower-id side of a
+            replica pair initiates — because the exchange repairs both
+            directions, and symmetric divergence would otherwise make
+            both sides probe in the same tick and ship every delta
+            twice.  Suspicion overrides the tiebreak: a blocked send is
+            evidence only its observer holds, and ongoing traffic from
+            the peer can keep the other side's coldness clock warm
+            forever, so the suspecting replica must probe regardless of
+            id order.
+    """
+
+    def __init__(
+        self,
+        config: AntiEntropyConfig,
+        shard_ids: Sequence[int],
+        shard_peers: Optional[Mapping[int, Sequence[int]]] = None,
+        *,
+        replica: Optional[int] = None,
+    ) -> None:
         self.config = config
+        self.replica = replica
         self.shard_ids: Tuple[int, ...] = tuple(sorted(shard_ids))
+        self.shard_peers: Dict[int, Tuple[int, ...]] = {
+            shard: tuple(shard_peers.get(shard, ())) if shard_peers else ()
+            for shard in self.shard_ids
+        }
         self._cursor = 0
         self._repair_cursor = 0
         self.tick = 0
+        #: (shard, peer) → tick the δ-path last shipped/absorbed a delta.
+        self._last_delta: Dict[Tuple[int, int], int] = {}
+        #: (shard, peer) → tick of the last digest probe we initiated.
+        self._last_probe: Dict[Tuple[int, int], int] = {}
+        #: δ-paths whose peer refused a send (crash / severed link).
+        self._suspect: Set[Tuple[int, int]] = set()
         #: Shard-sync opportunities skipped because the budget ran out.
         self.deferred = 0
         #: Shard syncs actually planned.
         self.synced = 0
-        #: Full-state repair pushes planned.
+        # Repair traffic is counted where it *arrives*: a push or probe
+        # refused by a down peer or severed link never crossed the wire
+        # and must not inflate the repair-byte comparison.
+        #: Repair payloads absorbed (blanket pushes + digest-diff deltas).
         self.repairs = 0
+        #: Digest probes received.
+        self.probes = 0
+        #: Repair-path payload bytes that reached this replica.
+        self.repair_payload_bytes = 0
+        #: Repair-path metadata bytes that reached it (roots, digests).
+        self.repair_metadata_bytes = 0
+
+    # ------------------------------------------------------------------
+    # Signals from the store: δ-path activity and peer reachability.
+    # ------------------------------------------------------------------
+
+    def note_delta_activity(self, shard: int, peer: int) -> None:
+        """A delta was shipped to — or absorbed from — ``peer`` for ``shard``."""
+        self._last_delta[(shard, peer)] = self.tick
+        self._suspect.discard((shard, peer))
+
+    def note_peer_unreachable(self, peer: int) -> None:
+        """A send to ``peer`` was refused; suspect every shared δ-path."""
+        for shard, peers in self.shard_peers.items():
+            if peer in peers:
+                self._suspect.add((shard, peer))
+
+    def note_repair_traffic(
+        self, payload_bytes: int, metadata_bytes: int, *, with_payload: bool = False
+    ) -> None:
+        """Account repair-path traffic that arrived at this replica."""
+        self.repair_payload_bytes += payload_bytes
+        self.repair_metadata_bytes += metadata_bytes
+        if with_payload:
+            self.repairs += 1
+
+    def note_probe(self, n: int = 1) -> None:
+        self.probes += n
+
+    def restore_clock(self, ticks: int) -> None:
+        """Re-align the tick counter after a rebuild (crash with state loss).
+
+        A rebuilt replica starts from ``tick == 0``, silently
+        desynchronizing its repair cadence from the co-owners that kept
+        their clocks; carrying the cluster round in keeps blanket repair
+        phases and coldness thresholds aligned across the group.
+        """
+        self.tick = ticks
+
+    # ------------------------------------------------------------------
+    # The per-tick plan.
+    # ------------------------------------------------------------------
 
     def plan(
         self, shards: Mapping[int, Synchronizer]
-    ) -> Tuple[List[Tuple[int, Send]], List[int]]:
-        """One tick's plan: ``(shard, send)`` pairs plus shards to repair.
+    ) -> Tuple[List[Tuple[int, Send]], List[int], List[Tuple[int, Tuple[int, ...]]]]:
+        """One tick's plan: planned sends, blanket repairs, digest probes.
 
-        Calling a synchronizer's ``sync_messages`` flushes its buffers,
-        so deferred shards are never asked — their deltas survive to
-        the next tick.
+        Returns ``(planned, blanket_due, probes_due)``:
+
+        * ``planned`` — ``(shard, send)`` pairs from the inner
+          synchronizers, budget- and fairness-limited.  Calling a
+          synchronizer's ``sync_messages`` flushes its buffers, so
+          deferred shards are never asked — their deltas survive to the
+          next tick.
+        * ``blanket_due`` — shards that must push full state to every
+          co-owner (``repair_mode == "blanket"`` only).
+        * ``probes_due`` — ``(shard, peers)`` digest probes for δ-paths
+          gone cold or suspect (``repair_mode == "digest"`` only).
         """
         self.tick += 1
         planned: List[Tuple[int, Send]] = []
         if not self.shard_ids:
-            return planned, []
+            return planned, [], []
 
         order = [
             self.shard_ids[(self._cursor + i) % len(self.shard_ids)]
@@ -118,22 +243,69 @@ class AntiEntropyScheduler:
                 planned.append((shard, send))
         self._cursor = (self._cursor + served) % len(self.shard_ids)
 
-        repair_due: List[int] = []
         interval = self.config.repair_interval
-        if interval and self.tick % interval == 0:
-            for _ in range(min(self.config.repair_fanout, len(self.shard_ids))):
-                repair_due.append(
-                    self.shard_ids[self._repair_cursor % len(self.shard_ids)]
-                )
-                self._repair_cursor += 1
-            self.repairs += len(repair_due)
-        return planned, repair_due
+        if not interval:
+            return planned, [], []
+        if self.config.repair_mode == "blanket":
+            return planned, self._blanket_due(interval), []
+        return planned, [], self._probes_due(interval)
+
+    def _blanket_due(self, interval: int) -> List[int]:
+        """Timer-driven: every ``interval`` ticks, the next fanout shards."""
+        if self.tick % interval != 0:
+            return []
+        due: List[int] = []
+        for _ in range(min(self.config.repair_fanout, len(self.shard_ids))):
+            due.append(self.shard_ids[self._repair_cursor % len(self.shard_ids)])
+            self._repair_cursor += 1
+        return due
+
+    def _probes_due(self, interval: int) -> List[Tuple[int, Tuple[int, ...]]]:
+        """Divergence-driven: probe δ-paths cold or suspect for ≥ interval.
+
+        A probe is itself rate-limited to one per δ-path per interval,
+        so an already-synchronized shard costs one root digest per
+        interval and nothing more.  Fanout caps probed shards per tick,
+        rotating a cursor so every cold shard eventually gets its turn.
+        """
+        due: List[Tuple[int, Tuple[int, ...]]] = []
+        n = len(self.shard_ids)
+        scanned = 0
+        picked = 0
+        while scanned < n and picked < self.config.repair_fanout:
+            shard = self.shard_ids[(self._repair_cursor + scanned) % n]
+            scanned += 1
+            cold_peers = []
+            for peer in self.shard_peers.get(shard, ()):
+                path = (shard, peer)
+                suspect = path in self._suspect
+                if (
+                    not suspect
+                    and self.replica is not None
+                    and peer < self.replica
+                ):
+                    continue  # cold probes: the lower-id side initiates
+                if self.tick - self._last_probe.get(path, -interval) < interval:
+                    continue  # probed recently; give the exchange time
+                cold = self.tick - self._last_delta.get(path, 0) >= interval
+                if cold or suspect:
+                    cold_peers.append(peer)
+                    self._last_probe[path] = self.tick
+                    self._suspect.discard(path)
+            if cold_peers:
+                due.append((shard, tuple(cold_peers)))
+                picked += 1
+        self._repair_cursor = (self._repair_cursor + scanned) % n
+        return due
 
     def stats(self) -> Dict[str, int]:
-        """Counters for reports: ticks, syncs, deferrals, repairs."""
+        """Counters for reports: ticks, syncs, deferrals, repair traffic."""
         return {
             "ticks": self.tick,
             "synced": self.synced,
             "deferred": self.deferred,
             "repairs": self.repairs,
+            "probes": self.probes,
+            "repair_payload_bytes": self.repair_payload_bytes,
+            "repair_metadata_bytes": self.repair_metadata_bytes,
         }

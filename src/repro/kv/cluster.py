@@ -11,10 +11,12 @@ All of the base cluster's machinery applies unchanged: deterministic
 event-driven delivery, the :class:`~repro.sim.metrics.MetricsCollector`
 byte/unit accounting, message loss, and the fault-injection API
 (:meth:`~repro.sim.network.Cluster.crash`, :meth:`partition`,
-:meth:`heal`, :meth:`recover`).  Combined with the scheduler's periodic
-repair pushes this is the partition/recovery harness: sever a replica
-group, keep writing on both sides, heal, drain, and the group converges
-— for any inner synchronization protocol.
+:meth:`heal`, :meth:`recover`).  Combined with the scheduler's repair
+machinery — blanket full-state pushes on a timer, or divergence-driven
+digest probes that ship only the missing join decomposition — this is
+the partition/recovery harness: sever a replica group, keep writing on
+both sides, heal, drain, and the group converges for any inner
+synchronization protocol.
 """
 
 from __future__ import annotations
@@ -74,7 +76,23 @@ class KVCluster(Cluster):
         factory = kv_store_factory(
             ring, inner_factory, schema=schema, antientropy=antientropy
         )
+        #: Scheduler counters of store incarnations lost to
+        #: ``crash(lose_state=True)``, so cluster-wide accounting
+        #: (repair bytes, probes) survives rebuilds.
+        self._retired_scheduler_stats: dict = {}
         super().__init__(config, factory, MapLattice())
+
+    def crash(self, node: int, lose_state: bool = False) -> None:
+        if not 0 <= node < self.topology.n:
+            raise ValueError(f"no such node {node}")
+        if lose_state:
+            store = self.nodes[node]
+            assert isinstance(store, KVStore)
+            for key, value in store.scheduler.stats().items():
+                self._retired_scheduler_stats[key] = (
+                    self._retired_scheduler_stats.get(key, 0) + value
+                )
+        super().crash(node, lose_state)
 
     # ------------------------------------------------------------------
     # Smart-client request routing.
@@ -136,6 +154,23 @@ class KVCluster(Cluster):
     def key_converged(self, key: Hashable) -> bool:
         """True when the key's replica group agrees on its value."""
         return self.shard_converged(self.ring.shard_of(key))
+
+    def scheduler_stats(self) -> dict:
+        """Cluster-wide sums of every store's scheduler counters.
+
+        Includes the repair-byte accounting (``repair_payload_bytes``,
+        ``repair_metadata_bytes``, ``probes``, ``repairs``) that the
+        repair-mode comparisons measure, plus the counters of store
+        incarnations lost to ``crash(lose_state=True)`` — so ``ticks``
+        sums over incarnations, while traffic counters equal what was
+        actually observed across the whole run.
+        """
+        totals: dict = dict(self._retired_scheduler_stats)
+        for node in self.nodes:
+            assert isinstance(node, KVStore)
+            for key, value in node.scheduler.stats().items():
+                totals[key] = totals.get(key, 0) + value
+        return totals
 
     def merged_keyspace(self) -> MapLattice:
         """The join of every live replica's keyspace — the global view."""

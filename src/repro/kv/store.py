@@ -21,11 +21,28 @@ lets it run unmodified on the simulated cluster of
   owning shard's synchronizer;
 * ``sync_messages`` asks the :class:`~repro.kv.antientropy.
   AntiEntropyScheduler` which shards to serve this tick (send budget,
-  round-robin fairness, periodic full-state repair) and packages the
-  result onto the wire, optionally batching all same-destination shard
-  messages into one framed message;
+  round-robin fairness, repair scheduling) and packages the result onto
+  the wire, optionally batching all same-destination shard messages
+  into one framed message;
 * ``handle_message`` demultiplexes arriving wire messages back to the
   shard instances and re-packages any immediate replies.
+
+Repair rides alongside the inner protocols on three wire kinds:
+
+* ``kv-digest`` — a divergence probe: one root hash over the shard's
+  irreducible-set digest (:func:`repro.sync.digest.root_of`,
+  ``ROOT_BYTES``).  A receiver whose root matches stays silent; the
+  exchange cost O(hash).
+* ``kv-diff`` — the mismatch escalation: the responder's irreducible-set
+  digest (8-byte fingerprints, :mod:`repro.sync.digest`), from which
+  the initiator computes exactly the decomposition the responder lacks.
+* ``kv-repair`` — repair content: ``(delta, echo-digest | None)``.  The
+  initiator ships the missing delta plus its own digest so the
+  responder can answer with the reverse delta; blanket-mode repair uses
+  the same kind with the full shard state and no echo.  Absorption goes
+  through :meth:`repro.sync.protocol.Synchronizer.absorb_state`, so
+  every inner protocol's bookkeeping (δ-buffers, Scuttlebutt versions)
+  stays truthful about repaired content.
 
 Wire framing adds one shard tag per bundled shard message; payload and
 metadata accounting of the inner protocols is preserved unchanged, so
@@ -44,6 +61,14 @@ from repro.kv.types import Schema, TypeSpec
 from repro.lattice.base import Lattice
 from repro.lattice.map_lattice import MapLattice
 from repro.sizes import SizeModel, DEFAULT_SIZE_MODEL
+from repro.sync.digest import (
+    FINGERPRINT_BYTES,
+    ROOT_BYTES,
+    delta_against_digest,
+    digest_and_missing,
+    digest_of,
+    root_of,
+)
 from repro.sync.protocol import Message, Send, Synchronizer
 
 
@@ -100,6 +125,7 @@ class KVStore(Synchronizer):
         reachable = set(self.neighbors) | {replica}
         #: shard id → this replica's synchronizer for that shard.
         self.shards: Dict[int, Synchronizer] = {}
+        shard_peers: Dict[int, Tuple[int, ...]] = {}
         for shard in owned:
             group = ring.shard_owners(shard)
             missing = [peer for peer in group if peer not in reachable]
@@ -113,7 +139,10 @@ class KVStore(Synchronizer):
             self.shards[shard] = inner_factory(
                 replica, peers, bottom, n_nodes, size_model
             )
-        self.scheduler = AntiEntropyScheduler(config, owned)
+            shard_peers[shard] = tuple(peers)
+        self.scheduler = AntiEntropyScheduler(
+            config, owned, shard_peers, replica=replica
+        )
 
     # ------------------------------------------------------------------
     # Typed client API.
@@ -201,24 +230,39 @@ class KVStore(Synchronizer):
         return shard_sync.local_update(mutator)
 
     def sync_messages(self) -> List[Send]:
-        planned, repair_due = self.scheduler.plan(self.shards)
-        wire: List[Tuple[int, int, Message]] = [
-            (send.dst, shard, send.message) for shard, send in planned
-        ]
-        for shard in repair_due:
+        planned, blanket_due, probes_due = self.scheduler.plan(self.shards)
+        wire: List[Tuple[int, int, Message]] = []
+        for shard, send in planned:
+            if send.message.payload_bytes:
+                self.scheduler.note_delta_activity(shard, send.dst)
+            wire.append((send.dst, shard, send.message))
+        for shard in blanket_due:
             inner = self.shards[shard]
             if inner.state.is_bottom:
                 continue
             units, payload_bytes = self._payload_sizes(inner.state)
             repair = Message(
                 kind="kv-repair",
-                payload=inner.state,
+                payload=(inner.state, None),
                 payload_units=units,
                 payload_bytes=payload_bytes,
                 metadata_bytes=0,
             )
             for dst in inner.neighbors:
                 wire.append((dst, shard, repair))
+        for shard, peers in probes_due:
+            inner = self.shards[shard]
+            root = root_of(digest_of(inner.state))
+            probe = Message(
+                kind="kv-digest",
+                payload=root,
+                payload_units=0,
+                payload_bytes=0,
+                metadata_bytes=ROOT_BYTES,
+                metadata_units=1,
+            )
+            for dst in peers:
+                wire.append((dst, shard, probe))
         return self._package(wire)
 
     def handle_message(self, src: int, message: Message) -> List[Send]:
@@ -235,12 +279,114 @@ class KVStore(Synchronizer):
                 raise KVRoutingError(
                     f"replica {self.replica} received traffic for unowned shard {shard}"
                 )
-            if inner_message.kind == "kv-repair":
-                inner.state = inner.state.join(inner_message.payload)
+            if inner_message.kind in ("kv-repair", "kv-digest", "kv-diff"):
+                reply = self._handle_repair(src, shard, inner, inner_message)
+                if reply is not None:
+                    wire.append((src, shard, reply))
                 continue
+            if inner_message.payload_bytes:
+                self.scheduler.note_delta_activity(shard, src)
             for reply in inner.handle_message(src, inner_message):
+                if reply.message.payload_bytes:
+                    self.scheduler.note_delta_activity(shard, reply.dst)
                 wire.append((reply.dst, shard, reply.message))
         return self._package(wire)
+
+    # ------------------------------------------------------------------
+    # The repair path: blanket absorption and the digest exchange.
+    #
+    # Digest-mode repair is a two-round-trip exchange per divergent
+    # (shard, peer) δ-path; A is the probing replica, B the peer:
+    #
+    #   1. A → B  kv-digest  root(A)            — O(hash); match ⇒ done
+    #   2. B → A  kv-diff    digest(B)          — fingerprints only
+    #   3. A → B  kv-repair  (Δ_B, digest(A))   — what B misses, + echo
+    #   4. B → A  kv-repair  (Δ_A, None)        — what A misses
+    #
+    # Both deltas are inflating join decompositions computed against the
+    # other side's digest; no message ever carries redundant state.
+    #
+    # Repair traffic is accounted by its *receiver*: a message that was
+    # refused in transit never reaches a handler and never counts, so
+    # the repair-byte comparison reflects what actually crossed the
+    # wire.
+    # ------------------------------------------------------------------
+
+    def _handle_repair(
+        self, src: int, shard: int, inner: Synchronizer, message: Message
+    ) -> Optional[Message]:
+        if message.kind == "kv-repair":
+            self.scheduler.note_repair_traffic(
+                message.payload_bytes,
+                message.metadata_bytes,
+                with_payload=message.payload_bytes > 0,
+            )
+            delta, echo = message.payload
+            absorbed = inner.absorb_state(delta, src)
+            if not absorbed.is_bottom:
+                self.scheduler.note_delta_activity(shard, src)
+            if echo is None:
+                return None
+            back = delta_against_digest(inner.state, echo)
+            if back.is_bottom:
+                return None
+            return self._repair_message(shard, src, back, echo=None)
+        if message.kind == "kv-digest":
+            self.scheduler.note_probe()
+            self.scheduler.note_repair_traffic(0, message.metadata_bytes)
+            digest = digest_of(inner.state)
+            if root_of(digest) == message.payload:
+                # In sync with the prober: refresh the δ-path clock so
+                # we do not immediately counter-probe a healthy pair.
+                self.scheduler.note_delta_activity(shard, src)
+                return None
+            return Message(
+                kind="kv-diff",
+                payload=digest,
+                payload_units=0,
+                payload_bytes=0,
+                metadata_bytes=len(digest) * FINGERPRINT_BYTES,
+                metadata_units=len(digest),
+            )
+        # kv-diff: the peer diverges; ship what it misses plus our own
+        # digest so it can answer with the reverse delta.  One
+        # decomposition pass computes both.
+        self.scheduler.note_repair_traffic(0, message.metadata_bytes)
+        echo, delta = digest_and_missing(inner.state, message.payload)
+        return self._repair_message(shard, src, delta, echo=echo)
+
+    def _repair_message(
+        self, shard: int, dst: int, delta: Lattice, echo
+    ) -> Message:
+        units, payload_bytes = self._payload_sizes(delta)
+        metadata = len(echo) * FINGERPRINT_BYTES if echo is not None else 0
+        if payload_bytes:
+            self.scheduler.note_delta_activity(shard, dst)
+        return Message(
+            kind="kv-repair",
+            payload=(delta, echo),
+            payload_units=units,
+            payload_bytes=payload_bytes,
+            metadata_bytes=metadata,
+            metadata_units=len(echo) if echo is not None else 0,
+        )
+
+    # ------------------------------------------------------------------
+    # Fault signals from the transport and rebuild alignment.
+    # ------------------------------------------------------------------
+
+    def note_send_blocked(self, dst: int) -> None:
+        """The transport refused a send to ``dst`` (down peer / cut link).
+
+        Suspicion marks every δ-path shared with the peer, so digest
+        probes fire as soon as the link heals instead of waiting out the
+        full coldness threshold.
+        """
+        self.scheduler.note_peer_unreachable(dst)
+
+    def restore_clock(self, ticks: int) -> None:
+        """Carry the cluster round into a rebuilt store's scheduler."""
+        self.scheduler.restore_clock(ticks)
 
     def _package(self, wire: List[Tuple[int, int, Message]]) -> List[Send]:
         """Frame shard messages for the wire, batching per destination.

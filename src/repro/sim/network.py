@@ -93,7 +93,14 @@ class Cluster:
         self.queue = EventQueue()
         self._round = 0
         self._loss_rng = random.Random(config.loss_seed)
+        #: Transmitted messages eaten by random network loss
+        #: (``loss_rate`` coin flips) — actual packet loss.
         self.messages_dropped = 0
+        #: In-flight messages killed because their destination crashed
+        #: or the link was severed mid-transit.  Kept separate from
+        #: ``messages_dropped`` so fault experiments can report network
+        #: loss and fault-induced kills independently.
+        self.messages_severed = 0
         #: Sends refused before transmission (down peer / severed link).
         self.messages_blocked = 0
         #: Workload updates discarded because their node was down.
@@ -209,8 +216,18 @@ class Cluster:
             )
 
     def recover(self, node: int) -> None:
-        """Bring a crashed node back into the cluster."""
+        """Bring a crashed node back into the cluster.
+
+        Down nodes do not tick, so whether the replica kept its state
+        or was rebuilt from bottom, its internal clocks lag the cluster
+        by the whole downtime.  Realigning here keeps periodic
+        machinery (anti-entropy repair phases, coldness thresholds)
+        synchronized with the replicas that kept running.
+        """
         self.down.discard(node)
+        restore = getattr(self.nodes[node], "restore_clock", None)
+        if restore is not None:
+            restore(self._round)
 
     def partition(self, *groups: Iterable[int]) -> None:
         """Sever every link between nodes of different ``groups``.
@@ -290,7 +307,7 @@ class Cluster:
         if not self.link_up(src, dst):
             # The destination crashed — or the link was severed — while
             # the message was in flight.
-            self.messages_dropped += 1
+            self.messages_severed += 1
             return
         synchronizer = self.nodes[dst]
         started = _time.perf_counter()
@@ -308,8 +325,13 @@ class Cluster:
                 )
             if not self.link_up(src, send.dst):
                 # Connection refused: nothing crossed the wire, so the
-                # send is not recorded as transmission.
+                # send is not recorded as transmission.  The sender does
+                # learn the peer is unreachable — the signal stores feed
+                # into divergence-driven repair scheduling.
                 self.messages_blocked += 1
+                note_blocked = getattr(self.nodes[src], "note_send_blocked", None)
+                if note_blocked is not None:
+                    note_blocked(send.dst)
                 continue
             self.metrics.record_message(
                 MessageRecord(

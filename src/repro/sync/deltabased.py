@@ -33,7 +33,7 @@ for here as one sequence number of metadata per message.
 from __future__ import annotations
 
 from functools import partial
-from typing import List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.lattice.base import Lattice
 from repro.sizes import SizeModel, DEFAULT_SIZE_MODEL
@@ -72,7 +72,11 @@ class DeltaBased(Synchronizer):
         #: The δ-buffer ``Bᵢ``: (δ-group, origin) pairs — Algorithm 1 line 5.
         #: Classic mode simply ignores the origin tag when sending.
         self.buffer: List[Tuple[Lattice, int]] = []
-        self._sequence = 0
+        #: Per-neighbour sequence counters for the lossy-channel
+        #: extension (Section IV): each channel numbers its own
+        #: δ-groups, which is the model ``metadata_bytes`` documents —
+        #: one sequence number per neighbour, not one shared counter.
+        self._sequences: Dict[int, int] = {}
 
     # ------------------------------------------------------------------
     # Algorithm 1, line 6-8: on operationᵢ(mδ).
@@ -105,7 +109,7 @@ class DeltaBased(Synchronizer):
             if group.is_bottom:
                 continue
             units, payload_bytes = self._payload_sizes(group)
-            self._sequence += 1
+            self._sequences[neighbor] = self._sequences.get(neighbor, 0) + 1
             sends.append(
                 Send(
                     dst=neighbor,
@@ -139,6 +143,19 @@ class DeltaBased(Synchronizer):
             if received.inflates(self.state):
                 self._store(received, src)
         return []
+
+    def absorb_state(self, state: Lattice, src: Optional[int] = None) -> Lattice:
+        """Repair absorption: buffer the novelty so it propagates on.
+
+        Extracting ``∆(state, xᵢ)`` is the RR treatment of a received
+        state; storing it (tagged with its source when known) lets the
+        repaired content ride the normal δ-path to other neighbours
+        instead of silently bypassing the buffer.
+        """
+        extracted = state.delta(self.state)
+        if not extracted.is_bottom:
+            self._store(extracted, self.replica if src is None else src)
+        return extracted
 
     # ------------------------------------------------------------------
     # Algorithm 1, line 18-20: store(s, o).

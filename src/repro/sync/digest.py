@@ -31,13 +31,15 @@ from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass
-from typing import FrozenSet
+from typing import FrozenSet, Tuple
 
 from repro.lattice.base import Lattice
 from repro.sizes import SizeModel, DEFAULT_SIZE_MODEL
 
 #: Bytes per digest fingerprint.
 FINGERPRINT_BYTES = 8
+#: Bytes per digest *root* — the probe-sized summary of a whole digest.
+ROOT_BYTES = 16
 
 
 def fingerprint(irreducible: Lattice) -> bytes:
@@ -63,6 +65,40 @@ def delta_against_digest(state: Lattice, remote_digest: FrozenSet[bytes]) -> Lat
         if fingerprint(irreducible) not in remote_digest:
             acc = acc.join(irreducible)
     return acc
+
+
+def root_of(digest: FrozenSet[bytes]) -> bytes:
+    """One hash summarizing a whole digest — the O(1)-to-compare probe.
+
+    Equal states decompose to equal digests and therefore equal roots,
+    so two replicas can rule out divergence by exchanging ``ROOT_BYTES``
+    instead of the full fingerprint set; a mismatch escalates to the
+    digest itself.
+    """
+    hasher = hashlib.blake2b(digest_size=ROOT_BYTES)
+    for entry in sorted(digest):
+        hasher.update(entry)
+    return hasher.digest()
+
+
+def digest_and_missing(
+    state: Lattice, remote_digest: FrozenSet[bytes]
+) -> Tuple[FrozenSet[bytes], Lattice]:
+    """Both sides of a diff reply, in one decomposition pass.
+
+    Returns ``(digest_of(state), delta_against_digest(state,
+    remote_digest))`` while fingerprinting every irreducible exactly
+    once — what a responder announces about itself and what it ships
+    because the remote digest lacks it.
+    """
+    fingerprints = []
+    acc = state.bottom_like()
+    for irreducible in state.decompose():
+        entry = fingerprint(irreducible)
+        fingerprints.append(entry)
+        if entry not in remote_digest:
+            acc = acc.join(irreducible)
+    return frozenset(fingerprints), acc
 
 
 @dataclass(frozen=True)

@@ -22,7 +22,7 @@ object's δ-group.
 
 from __future__ import annotations
 
-from typing import Hashable, List, Sequence, Tuple
+from typing import Hashable, List, Optional, Sequence, Tuple
 
 from repro.lattice.base import Lattice
 from repro.lattice.map_lattice import MapLattice
@@ -132,6 +132,29 @@ class KeyedDeltaBased(Synchronizer):
             for key, object_delta in stored.items():
                 self.buffer.append((key, object_delta, src))
         return []
+
+    def absorb_state(self, state: Lattice, src: Optional[int] = None) -> Lattice:
+        """Repair absorption: per-object novelty into the δ-buffer.
+
+        The extracted per-object deltas are buffered (tagged with their
+        source when known) so repaired content propagates to the other
+        neighbours along the normal per-object δ-path.
+        """
+        assert isinstance(state, MapLattice)
+        origin = self.replica if src is None else src
+        extracted: dict = {}
+        for key, object_value in state.items():
+            local = self.state.get(key)
+            delta = object_value if local is None else object_value.delta(local)
+            if not delta.is_bottom:
+                extracted[key] = delta
+        if not extracted:
+            return self.state.bottom_like()
+        addition = MapLattice(extracted)
+        self.state = self.state.join(addition)
+        for key, object_delta in extracted.items():
+            self.buffer.append((key, object_delta, origin))
+        return addition
 
     # ------------------------------------------------------------------
     # Memory accounting.

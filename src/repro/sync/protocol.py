@@ -31,7 +31,7 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
-from typing import Any, Callable, ClassVar, List, Sequence
+from typing import Any, Callable, ClassVar, List, Optional, Sequence
 
 from repro.lattice.base import Lattice
 from repro.sizes import SizeModel, DEFAULT_SIZE_MODEL
@@ -134,6 +134,34 @@ class Synchronizer(ABC):
     @abstractmethod
     def handle_message(self, src: int, message: Message) -> List[Send]:
         """Process an incoming message; return immediate replies."""
+
+    def absorb_state(self, state: Lattice, src: Optional[int] = None) -> Lattice:
+        """Absorb a peer's (full or partial) state outside normal sync.
+
+        Store-level anti-entropy repair delivers lattice states that did
+        not travel through this protocol's own message kinds — a full
+        shard state pushed after a crash, or the inflating decomposition
+        computed from a digest exchange.  Assigning ``self.state``
+        directly would bypass the protocol's bookkeeping (δ-buffers,
+        version vectors), so repair must flow through this hook instead.
+
+        Args:
+            state: The lattice content to absorb (joined in).
+            src: The replica the content arrived from, when known.
+
+        Returns:
+            The delta that strictly inflated the local state (bottom
+            when nothing was new).
+
+        The default — extract the novelty ``∆(state, xᵢ)`` and join it —
+        is exact for protocols whose only synchronization state *is* the
+        lattice (state-based, Merkle); protocols with buffers or version
+        vectors override it to keep their bookkeeping truthful.
+        """
+        delta = state.delta(self.state)
+        if not delta.is_bottom:
+            self.state = self.state.join(delta)
+        return delta
 
     # ------------------------------------------------------------------
     # Memory accounting (Section V-B.3).

@@ -30,7 +30,7 @@ neighbour per round (``NP``) for Scuttlebutt, plus the knowledge matrix
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.lattice.base import Lattice
 from repro.sizes import SizeModel, DEFAULT_SIZE_MODEL
@@ -138,6 +138,40 @@ class Scuttlebutt(Synchronizer):
 
     def _note_remote_vector(self, src: int, remote_vector: Dict[int, int]) -> None:
         """Hook for the GC variant; the original protocol learns nothing."""
+
+    def absorb_state(self, state: Lattice, src: Optional[int] = None) -> Lattice:
+        """Repair absorption: the novelty enters the store *versioned*.
+
+        Repaired content arrives as raw lattice state, outside the
+        ⟨origin, seq⟩ identification every stored delta normally
+        carries.  Joining it straight into ``self.state`` would make the
+        summary vector lie: the replica would hold content its vector
+        does not cover, so its digest answers would silently omit it and
+        a fresh peer syncing against this replica could never learn it.
+        Instead the inflating delta is recorded under a fresh local
+        version — exactly as if the replica had (re-)performed the
+        update itself — which keeps ``state == ⊔ store`` so digest
+        answers can serve everything the replica holds.
+
+        One caveat on a replica rebuilt after state loss: until normal
+        gossip restores its own pre-crash sequence range, freshly
+        minted versions may be *shadowed* by peers' higher attributed
+        seqs and not requested through Scuttlebutt digests.  That is
+        harmless for convergence — repaired content always originates
+        at some co-owner, so every other pair reconciles it through
+        its own exchange (or the store-level repair layer) — and
+        deliberately not "fixed" by jumping the sequence counter, which
+        would stop peers from re-shipping the pre-crash deltas the
+        reset replica's empty vector asks for.
+        """
+        extracted = state.delta(self.state)
+        if extracted.is_bottom:
+            return extracted
+        seq = self.vector.get(self.replica, 0) + 1
+        self.vector[self.replica] = seq
+        self._store_put((self.replica, seq), extracted)
+        self.state = self.state.join(extracted)
+        return extracted
 
     # ------------------------------------------------------------------
     # Memory accounting.

@@ -1,0 +1,370 @@
+"""Repair-path correctness across every inner protocol and both modes.
+
+The store's recovery path — blanket full-state pushes or
+divergence-driven digest repair — must reconcile a replica group after
+the two faults Algorithm 1's cleared δ-buffers cannot survive: a
+partition with writes on both sides, and a crash that loses the disk.
+Beyond per-shard convergence, repair must leave every inner protocol's
+*bookkeeping* truthful: absorbed content flows through
+``Synchronizer.absorb_state``, so a Scuttlebutt replica versions
+repaired deltas (its summary vector keeps covering what it holds) and a
+delta-based replica buffers them for onward propagation, instead of the
+old silent ``inner.state = inner.state.join(...)`` bypass.
+"""
+
+import pytest
+
+from repro.kv import (
+    AntiEntropyConfig,
+    AntiEntropyScheduler,
+    HashRing,
+    KVCluster,
+    KVStore,
+    KVUpdate,
+)
+from repro.lattice import MapLattice
+from repro.sync import (
+    MerkleSync,
+    Scuttlebutt,
+    ScuttlebuttGC,
+    StateBased,
+    classic,
+    delta_bp_rr,
+    keyed_bp_rr,
+)
+
+#: Every inner protocol the store supports, including both Scuttlebutt
+#: variants — each must survive the fault schedule under repair.
+INNER = {
+    "state-based": StateBased,
+    "delta-based": classic,
+    "delta-based-bp-rr": delta_bp_rr,
+    "keyed-delta-bp-rr": keyed_bp_rr,
+    "scuttlebutt": Scuttlebutt,
+    "scuttlebutt-gc": ScuttlebuttGC,
+    "merkle": MerkleSync,
+}
+
+REPAIR = dict(repair_interval=2, repair_fanout=8)
+
+
+def scuttlebutt_bookkeeping_consistent(cluster: KVCluster) -> None:
+    """The vector covers the store, and the store reconstructs the state.
+
+    ``state == ⊔ store`` is what makes a Scuttlebutt digest answer
+    complete: a fresh peer (empty vector) asking this replica must be
+    able to learn everything the replica holds.  GC may prune deltas
+    whose versions every replica covers, so it only guarantees
+    ``state ⊒ ⊔ store``.
+    """
+    for node in cluster.nodes:
+        assert isinstance(node, KVStore)
+        for shard, sync in node.shards.items():
+            if not isinstance(sync, Scuttlebutt):
+                continue
+            for (origin, seq) in sync.store:
+                assert seq <= sync.vector.get(origin, 0), (
+                    f"replica {node.replica} shard {shard}: stored version "
+                    f"({origin}, {seq}) not covered by vector {sync.vector}"
+                )
+            rebuilt = sync.bottom
+            for delta in sync.store.values():
+                rebuilt = rebuilt.join(delta)
+            if isinstance(sync, ScuttlebuttGC):
+                assert rebuilt.leq(sync.state)
+            else:
+                assert rebuilt == sync.state, (
+                    f"replica {node.replica} shard {shard}: state holds "
+                    "content its delta store cannot serve"
+                )
+
+
+@pytest.mark.parametrize("mode", ["blanket", "digest"])
+@pytest.mark.parametrize("algorithm", sorted(INNER))
+def test_faults_reconcile_under_repair(algorithm, mode):
+    """partition + heal + crash(lose_state) converges for every protocol."""
+    ring = HashRing(range(4), n_shards=8, replication=3)
+    cluster = KVCluster(
+        ring,
+        INNER[algorithm],
+        antientropy=AntiEntropyConfig(repair_mode=mode, **REPAIR),
+    )
+    for i in range(12):
+        cluster.update(f"aws:{i}", "add", f"e{i}")
+    cluster.run_round(updates=None)
+    cluster.drain()
+
+    # Partition: writes keep landing on both sides of the cut; the
+    # flushed δ-groups crossing it are refused and gone.
+    cluster.partition([0, 1])
+    cluster.update("set:px", "add", "west")
+    for owner in ring.owners("set:px"):
+        cluster.apply_update(owner, KVUpdate("set:px", "add", (f"from-{owner}",)))
+    for _ in range(2):
+        cluster.run_round(updates=None)
+    cluster.heal()
+    cluster.drain()
+    assert cluster.converged(), f"{algorithm}/{mode} diverged after partition"
+
+    # Crash with disk loss: the rebuilt replica holds nothing and must
+    # be refilled through the repair path.
+    cluster.crash(1, lose_state=True)
+    cluster.update("aws:0", "add", "while-down")
+    cluster.run_round(updates=None)
+    cluster.recover(1)
+    cluster.drain()
+    assert cluster.converged(), f"{algorithm}/{mode} diverged after crash"
+    assert cluster.value("aws:0") >= {"e0", "while-down"}
+    for i in range(1, 12):
+        assert cluster.value(f"aws:{i}") == frozenset({f"e{i}"})
+
+    scuttlebutt_bookkeeping_consistent(cluster)
+
+
+class TestAbsorbState:
+    """The protocol-aware repair hook, per synchronizer."""
+
+    def keyspace(self, *keys):
+        from repro.lattice import SetLattice
+
+        return MapLattice({k: SetLattice({f"v-{k}"}) for k in keys})
+
+    def test_default_returns_the_inflating_delta(self):
+        node = StateBased(0, [1], MapLattice(), 2)
+        first = node.absorb_state(self.keyspace("a", "b"))
+        assert first == self.keyspace("a", "b")
+        again = node.absorb_state(self.keyspace("a"))
+        assert again.is_bottom
+        assert node.state == self.keyspace("a", "b")
+
+    def test_delta_based_buffers_the_novelty(self):
+        node = delta_bp_rr(0, [1, 2], MapLattice(), 3)
+        node.absorb_state(self.keyspace("a"), src=1)
+        assert node.state == self.keyspace("a")
+        # The repaired content propagates: BP skips only the source.
+        sends = node.sync_messages()
+        assert [send.dst for send in sends] == [2]
+        assert sends[0].message.payload == self.keyspace("a")
+
+    def test_keyed_buffers_per_object_novelty(self):
+        node = keyed_bp_rr(0, [1, 2], MapLattice(), 3)
+        node.local_update(lambda state: self.keyspace("a"))
+        node.sync_messages()  # flush
+        absorbed = node.absorb_state(self.keyspace("a", "b"), src=1)
+        assert absorbed == self.keyspace("b")  # only the novelty
+        sends = node.sync_messages()
+        assert [send.dst for send in sends] == [2]
+
+    def test_scuttlebutt_versions_repaired_content(self):
+        node = Scuttlebutt(0, [1], MapLattice(), 2)
+        absorbed = node.absorb_state(self.keyspace("a"))
+        assert absorbed == self.keyspace("a")
+        # The bug this hook fixes: the vector must cover the content.
+        assert node.vector == {0: 1}
+        assert node.store[(0, 1)] == self.keyspace("a")
+        # A fresh peer's empty digest now learns the repaired content.
+        replies = node.handle_message(1, node.sync_messages()[0].message.__class__(
+            kind="digest", payload={}, payload_units=0, payload_bytes=0,
+            metadata_bytes=0, metadata_units=0,
+        ))
+        assert replies and replies[0].message.payload == [((0, 1), self.keyspace("a"))]
+
+    def test_scuttlebutt_absorbing_known_content_is_free(self):
+        node = Scuttlebutt(0, [1], MapLattice(), 2)
+        node.absorb_state(self.keyspace("a"))
+        again = node.absorb_state(self.keyspace("a"))
+        assert again.is_bottom
+        assert node.vector == {0: 1}
+        assert len(node.store) == 1
+
+
+class TestSchedulerPhase:
+    @pytest.mark.parametrize("lose_state", [False, True])
+    def test_recovered_store_rejoins_the_cluster_round(self, lose_state):
+        """Downtime must not desynchronize the repair cadence.
+
+        Down nodes do not tick, so a crashed replica — rebuilt from
+        bottom or not — lags the cluster by its whole downtime until
+        ``recover`` realigns it with the co-owners that kept running.
+        """
+        ring = HashRing(range(3), n_shards=4, replication=3)
+        cluster = KVCluster(
+            ring, keyed_bp_rr, antientropy=AntiEntropyConfig(repair_interval=5)
+        )
+        cluster.update("set:x", "add", "a")
+        for _ in range(3):
+            cluster.run_round(updates=None)
+        cluster.crash(1, lose_state=lose_state)
+        for _ in range(3):
+            cluster.run_round(updates=None)  # the downtime: no ticks at 1
+        cluster.recover(1)
+        recovered = cluster.nodes[1]
+        survivor = cluster.nodes[0]
+        assert isinstance(recovered, KVStore) and isinstance(survivor, KVStore)
+        assert recovered.scheduler.tick == cluster.rounds_run
+        assert recovered.scheduler.tick == survivor.scheduler.tick
+
+    def test_restore_clock_is_forwarded(self):
+        ring = HashRing(range(2), n_shards=2, replication=2)
+        from repro.kv import kv_store_factory
+        store = kv_store_factory(ring, keyed_bp_rr)(0, [1], MapLattice(), 2)
+        store.restore_clock(17)
+        assert store.scheduler.tick == 17
+
+
+class TestColdnessScheduling:
+    def config(self, **kwargs):
+        defaults = dict(repair_interval=3, repair_fanout=8, repair_mode="digest")
+        defaults.update(kwargs)
+        return AntiEntropyConfig(**defaults)
+
+    def test_cold_paths_are_probed_once_per_interval(self):
+        scheduler = AntiEntropyScheduler(self.config(), [0], {0: (1, 2)})
+        probed = []
+        for _ in range(7):
+            _, blanket, probes = scheduler.plan({0: StateBased(0, [1, 2], MapLattice(), 3)})
+            assert blanket == []
+            probed.append(probes)
+        # Cold from tick 3 on, re-probed every interval, never spammed.
+        assert probed[:2] == [[], []]
+        assert probed[2] == [(0, (1, 2))]
+        assert probed[3] == probed[4] == []
+        assert probed[5] == [(0, (1, 2))]
+
+    def test_delta_activity_resets_the_clock(self):
+        scheduler = AntiEntropyScheduler(self.config(), [0], {0: (1,)})
+        inner = StateBased(0, [1], MapLattice(), 2)
+        for _ in range(2):
+            scheduler.plan({0: inner})
+            scheduler.note_delta_activity(0, 1)
+        for _ in range(2):
+            _, _, probes = scheduler.plan({0: inner})
+            assert probes == []
+        # Activity stopped two ticks ago; one more cold tick trips it.
+        _, _, probes = scheduler.plan({0: inner})
+        assert probes == [(0, (1,))]
+
+    def test_suspicion_marks_shared_shards(self):
+        scheduler = AntiEntropyScheduler(
+            self.config(), [0, 1], {0: (1, 2), 1: (2,)}
+        )
+        inner = {0: StateBased(0, [1, 2], MapLattice(), 3),
+                 1: StateBased(0, [2], MapLattice(), 3)}
+        scheduler.plan(inner)
+        scheduler.note_delta_activity(0, 1)
+        scheduler.note_delta_activity(0, 2)
+        scheduler.note_delta_activity(1, 2)
+        scheduler.note_peer_unreachable(2)
+        # Peer 2's δ-paths are suspect and probed on the very next tick
+        # even though they were just active; peer 1's path is not.
+        _, _, probes = scheduler.plan(inner)
+        assert probes == [(0, (2,)), (1, (2,))]
+        # A probe is in flight: the rate limiter holds further probes.
+        _, _, probes = scheduler.plan(inner)
+        assert probes == []
+
+    def test_cold_probes_respect_the_pair_tiebreak(self):
+        """Only the lower-id side of a pair initiates coldness probes."""
+        low = AntiEntropyScheduler(self.config(), [0], {0: (5,)}, replica=2)
+        high = AntiEntropyScheduler(self.config(), [0], {0: (2,)}, replica=5)
+        inner_low = {0: StateBased(2, [5], MapLattice(), 6)}
+        inner_high = {0: StateBased(5, [2], MapLattice(), 6)}
+        low_fired = []
+        for _ in range(4):
+            low_fired.append(low.plan(inner_low)[2])
+            assert high.plan(inner_high)[2] == []
+        assert [(0, (5,))] in low_fired
+
+    def test_suspicion_overrides_the_tiebreak(self):
+        """A blocked send is evidence only its observer holds: the
+        higher-id replica must probe a suspect lower-id peer, or lost
+        δ-groups could stay unrepaired while ongoing traffic keeps the
+        other side's coldness clock warm."""
+        scheduler = AntiEntropyScheduler(self.config(), [0], {0: (2,)}, replica=5)
+        inner = {0: StateBased(5, [2], MapLattice(), 6)}
+        scheduler.plan(inner)
+        scheduler.note_peer_unreachable(2)
+        _, _, probes = scheduler.plan(inner)
+        assert probes == [(0, (2,))]
+
+    def test_blanket_mode_never_probes(self):
+        scheduler = AntiEntropyScheduler(
+            self.config(repair_mode="blanket", repair_interval=2), [0], {0: (1,)}
+        )
+        inner = {0: StateBased(0, [1], MapLattice(), 2)}
+        for tick in range(1, 5):
+            _, blanket, probes = scheduler.plan(inner)
+            assert probes == []
+            assert blanket == ([0] if tick % 2 == 0 else [])
+
+    def test_repair_mode_validated(self):
+        with pytest.raises(ValueError, match="repair_mode"):
+            AntiEntropyConfig(repair_mode="psychic")
+
+
+class TestRepairByteAccounting:
+    def test_digest_repair_is_counted_and_cheaper(self):
+        def run(mode):
+            ring = HashRing(range(4), n_shards=8, replication=3)
+            cluster = KVCluster(
+                ring,
+                keyed_bp_rr,
+                antientropy=AntiEntropyConfig(repair_mode=mode, **REPAIR),
+            )
+            for i in range(12):
+                cluster.update(f"set:{i}", "add", f"e{i}")
+            cluster.run_round(updates=None)
+            cluster.drain()
+            cluster.crash(3, lose_state=True)
+            cluster.run_round(updates=None)
+            cluster.recover(3)
+            cluster.drain()
+            assert cluster.converged()
+            return cluster.scheduler_stats()
+
+        blanket, digest = run("blanket"), run("digest")
+        assert blanket["repairs"] > 0 and blanket["probes"] == 0
+        assert digest["probes"] > 0
+        assert 0 < digest["repair_payload_bytes"] < blanket["repair_payload_bytes"]
+
+    def test_blocked_repair_pushes_are_not_counted(self):
+        """Repair traffic is accounted on arrival: pushes refused by a
+        down peer never crossed the wire and must not count."""
+        ring = HashRing(range(2), n_shards=2, replication=2)
+        cluster = KVCluster(
+            ring,
+            keyed_bp_rr,
+            antientropy=AntiEntropyConfig(
+                repair_mode="blanket", repair_interval=1, repair_fanout=4
+            ),
+        )
+        cluster.update("set:a", "add", "x")
+        for _ in range(2):
+            cluster.run_round(updates=None)
+        base = cluster.scheduler_stats()["repair_payload_bytes"]
+        assert base > 0
+        cluster.crash(1)
+        for _ in range(3):
+            cluster.run_round(updates=None)
+        assert cluster.messages_blocked > 0
+        assert cluster.scheduler_stats()["repair_payload_bytes"] == base
+
+    def test_rebuild_keeps_cluster_wide_repair_accounting(self):
+        """crash(lose_state=True) must not erase the victim's counters."""
+        ring = HashRing(range(3), n_shards=4, replication=3)
+        cluster = KVCluster(
+            ring,
+            keyed_bp_rr,
+            antientropy=AntiEntropyConfig(
+                repair_mode="blanket", repair_interval=1, repair_fanout=4
+            ),
+        )
+        cluster.update("set:a", "add", "x")
+        for _ in range(2):
+            cluster.run_round(updates=None)
+        before = cluster.scheduler_stats()
+        assert before["repair_payload_bytes"] > 0
+        cluster.crash(2, lose_state=True)
+        after = cluster.scheduler_stats()
+        assert after["repair_payload_bytes"] == before["repair_payload_bytes"]
+        assert after["repairs"] == before["repairs"]

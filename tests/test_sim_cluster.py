@@ -135,6 +135,43 @@ class TestClusterBasics:
         assert len(result.metrics.memory) == rounds_total * 3
 
 
+class TestFaultCounters:
+    """Loss drops, fault kills, and refused sends are distinct events."""
+
+    def test_loss_counts_as_dropped_not_severed(self):
+        config = ClusterConfig(line(2), loss_rate=0.5, loss_seed=3)
+        cluster = Cluster(config, StateBased, GSetWorkload(2, 1).bottom())
+        workload = GSetWorkload(2, rounds=6)
+        cluster.run_rounds(6, workload.updates_for)
+        assert cluster.messages_dropped > 0
+        assert cluster.messages_severed == 0
+
+    def test_in_flight_kill_counts_as_severed_not_dropped(self):
+        cluster = Cluster(ClusterConfig(line(2)), StateBased, GSetWorkload(2, 1).bottom())
+        cluster.apply_update(0, GSetWorkload(2, 1).updates_for(0, 0)[0])
+        # Dispatch while the link is up, crash before delivery: the
+        # in-flight message dies to the fault, not to network loss.
+        cluster._dispatch(0, cluster.nodes[0].sync_messages())
+        cluster.crash(1)
+        cluster.queue.run(until=cluster.queue.now + 1000.0)
+        assert cluster.messages_severed == 1
+        assert cluster.messages_dropped == 0
+
+    def test_refused_send_notifies_the_sender(self):
+        notified = []
+
+        class Watchful(StateBased):
+            def note_send_blocked(self, dst):
+                notified.append((self.replica, dst))
+
+        cluster = Cluster(ClusterConfig(line(2)), Watchful, GSetWorkload(2, 1).bottom())
+        cluster.apply_update(0, GSetWorkload(2, 1).updates_for(0, 0)[0])
+        cluster.crash(1)
+        cluster.run_round(updates=None)
+        assert cluster.messages_blocked > 0
+        assert (0, 1) in notified
+
+
 class TestRunnerSuite:
     def test_all_algorithms_converge_to_same_state(self):
         topo = partial_mesh(6, 2)
