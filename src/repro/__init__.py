@@ -13,6 +13,9 @@ Leitão, *Efficient Synchronization of State-based CRDTs* (ICDE 2019):
 * :mod:`repro.sync` — state-based, delta-based (classic / BP / RR /
   BP+RR), Scuttlebutt (± GC), operation-based, and digest-driven
   synchronization behind one interface;
+* :mod:`repro.net` — the transport seam: one replica runtime per
+  synchronizer over a :class:`Transport` interface, implemented by the
+  deterministic simulator and by real asyncio localhost-TCP sockets;
 * :mod:`repro.sim` — a deterministic discrete-event cluster simulator
   with transmission / memory / processing metrology and crash /
   partition fault injection;
@@ -86,7 +89,8 @@ from repro.sync import (
     digest_driven_sync,
     state_driven_sync,
 )
-from repro.codec import decode, encode
+from repro.codec import decode, decode_message, encode, encode_message
+from repro.net import AsyncTcpTransport, ReplicaRuntime, SimTransport, Transport
 from repro.sim import Cluster, ClusterConfig, SizeModel, partial_mesh, tree, run_experiment
 
 __version__ = "1.0.0"
@@ -143,6 +147,13 @@ __all__ = [
     # codec
     "decode",
     "encode",
+    "decode_message",
+    "encode_message",
+    # net
+    "AsyncTcpTransport",
+    "ReplicaRuntime",
+    "SimTransport",
+    "Transport",
     # sim
     "Cluster",
     "ClusterConfig",

@@ -11,6 +11,7 @@ without writing a driver script::
     python -m repro kv --replicas 16 --keys 1000 --workload zipf
     python -m repro kv --workload retwis --zipf 1.5 --budget 4096
     python -m repro kv --repair 4 --repair-mode digest --faults
+    python -m repro kv --transport tcp --replicas 8 --keys 200
 
 Each run prints the same plain-text table the corresponding
 ``benchmarks/bench_*.py`` target produces, so CLI output can be diffed
@@ -237,6 +238,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--workload", choices=("zipf", "retwis"), default="zipf", help="traffic shape"
     )
     kv.add_argument(
+        "--transport",
+        choices=("sim", "tcp"),
+        default="sim",
+        help=(
+            "replica transport: the deterministic simulator (size-model "
+            "bytes) or localhost asyncio TCP sockets (measured wire bytes)"
+        ),
+    )
+    kv.add_argument(
         "--budget", type=int, default=None, help="anti-entropy bytes per tick per node"
     )
     kv.add_argument(
@@ -335,6 +345,7 @@ def main(argv: Optional[List[str]] = None, stream=None) -> int:
             else (4 if args.faults or args.repair_mode == "digest" else 0),
             repair_mode=args.repair_mode,
             repair_fanout=args.repair_fanout,
+            transport=args.transport,
         )
         started = time.perf_counter()
         if args.faults:

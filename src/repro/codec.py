@@ -1,4 +1,4 @@
-"""Binary wire codec for lattice states and deltas.
+"""Binary wire codec for lattice states, deltas, and protocol messages.
 
 The evaluation harness *counts* serialized sizes through
 :class:`~repro.sizes.SizeModel`; a deployable library must also
@@ -8,6 +8,12 @@ grow-only constructs, the composition constructs, and the causal
 (dot-store) family — with a round-trip guarantee::
 
     decode(encode(x)) == x
+
+On top of the lattice codec, :func:`encode_message` /
+:func:`decode_message` frame whole protocol messages (every wire
+``kind`` the synchronizers and the kv store emit) as two-section
+envelopes that keep the paper's payload/metadata split measurable on a
+real transport; see the wire-envelope section below.
 
 Format: one tag byte per node, unsigned LEB128 varints for lengths and
 naturals, ZigZag-LEB128 for signed integers, UTF-8 for strings.
@@ -27,6 +33,7 @@ MaxElements` (its dominance order is an arbitrary function) and
 from __future__ import annotations
 
 import struct
+from dataclasses import dataclass
 from io import BytesIO
 from typing import Any, BinaryIO
 
@@ -410,3 +417,439 @@ def _read_store(data: BinaryIO) -> DotStore:
             entries[key] = _read_store(data)
         return DotMap(entries)
     raise CodecError(f"unknown dot-store tag 0x{tag:02x}")
+
+
+# ---------------------------------------------------------------------------
+# Wire envelopes for protocol messages.
+#
+# The synchronizers describe what they ship as a
+# :class:`repro.sync.protocol.Message`: a ``kind`` discriminator, a
+# protocol-specific payload object, and the *modelled* size accounting
+# the simulator records.  The envelope codec below turns that into
+# actual bytes for a real transport — and back — with the round-trip
+# guarantee ``decode_message(encode_message(m)).payload == m.payload``
+# for every wire kind the protocols emit.
+#
+# An envelope keeps the payload and the synchronization metadata in two
+# separate sections, so measured wire bytes preserve the paper's
+# payload/metadata split: lattice content (full states, δ-groups,
+# operation deltas, Merkle leaf blobs) goes to the payload section,
+# while version vectors, knowledge matrices, sequence numbers, causal
+# clocks, digests, fingerprints, and all framing (kind tags, counts,
+# lengths) go to the metadata section.  A decoded message therefore
+# reports *measured* ``payload_bytes``/``metadata_bytes`` — what
+# actually crossed the wire — while ``payload_units``/
+# ``metadata_units`` travel verbatim in the envelope (they are the
+# paper's machine-independent entry metric, not a byte count).
+#
+# Layout::
+#
+#     envelope := uvarint(len(payload_section)) payload_section
+#                 uvarint(len(meta_section))    meta_section
+#     meta_section starts with: uvarint(kind index)
+#                               uvarint(payload_units)
+#                               uvarint(metadata_units)
+#
+# Store-level framing (``kv-shard``/``kv-batch``) nests recursively:
+# inner messages append to the same two sections, so the outer
+# envelope's payload bytes are exactly the sum of the bundled lattice
+# content.
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class WireFrame:
+    """An encoded message envelope with its measured size split.
+
+    ``payload_bytes + metadata_bytes == len(data)``: the metadata share
+    includes the envelope framing (kind tag, unit counters, section
+    lengths), which is the documented overhead a real transport pays on
+    top of the size model's estimate.
+    """
+
+    data: bytes
+    payload_bytes: int
+    metadata_bytes: int
+
+    @property
+    def total_bytes(self) -> int:
+        return len(self.data)
+
+
+#: Registry of wire kinds; the uvarint kind tag indexes this tuple, so
+#: the order is part of the format — append only.
+WIRE_KINDS = (
+    "state",  # state-based: full lattice state
+    "delta",  # delta-based: one δ-group
+    "keyed-delta",  # per-object delta-based: MapLattice of δ-groups
+    "digest",  # Scuttlebutt summary vector (± GC knowledge matrix)
+    "deltas",  # Scuttlebutt reply: versioned deltas
+    "ops",  # op-based: causally-tagged operation envelopes
+    "delta-seq",  # acked delta-based: δ-group + covered seqs
+    "delta-ack",  # acked delta-based: acknowledged seqs
+    "mt-node",  # Merkle descent: (prefix, digest) nodes
+    "mt-leaves",  # Merkle bucket ship (expects complement reply)
+    "mt-leaves-final",  # Merkle bucket ship (final leg)
+    "kv-digest",  # store repair: root-hash divergence probe
+    "kv-diff",  # store repair: fingerprint-digest escalation
+    "kv-repair",  # store repair: (delta, echo digest | None)
+    "kv-shard",  # store framing: one (shard, message)
+    "kv-batch",  # store framing: bundled (shard, message) pairs
+)
+_WIRE_KIND_INDEX = {kind: index for index, kind in enumerate(WIRE_KINDS)}
+
+
+def _write_wire_vector(out: BinaryIO, vector: dict) -> None:
+    """A version vector: replica → counter, deterministically ordered."""
+    entries = sorted(vector.items(), key=lambda kv: _atom_sort_key(kv[0]))
+    write_uvarint(out, len(entries))
+    for origin, counter in entries:
+        write_atom(out, origin)
+        write_uvarint(out, counter)
+
+
+def _read_wire_vector(data: BinaryIO) -> dict:
+    vector = {}
+    for _ in range(read_uvarint(data)):
+        origin = read_atom(data)
+        vector[origin] = read_uvarint(data)
+    return vector
+
+
+def _write_state(payload, payload_out: BinaryIO, meta_out: BinaryIO) -> None:
+    _write_lattice(payload_out, payload)
+
+
+def _read_state(payload_in: BinaryIO, meta_in: BinaryIO):
+    return _read_lattice(payload_in)
+
+
+def _write_digest(payload, payload_out: BinaryIO, meta_out: BinaryIO) -> None:
+    if isinstance(payload, dict) and set(payload) == {"vector", "knowledge"}:
+        # Scuttlebutt-GC: the vector plus the gossiped knowledge matrix.
+        meta_out.write(b"\x01")
+        _write_wire_vector(meta_out, payload["vector"])
+        nodes = sorted(payload["knowledge"].items(), key=lambda kv: _atom_sort_key(kv[0]))
+        write_uvarint(meta_out, len(nodes))
+        for node, vector in nodes:
+            write_atom(meta_out, node)
+            _write_wire_vector(meta_out, vector)
+    else:
+        meta_out.write(b"\x00")
+        _write_wire_vector(meta_out, payload)
+
+
+def _read_digest(payload_in: BinaryIO, meta_in: BinaryIO):
+    variant = _read_exact(meta_in, 1)[0]
+    vector = _read_wire_vector(meta_in)
+    if variant == 0:
+        return vector
+    knowledge = {}
+    for _ in range(read_uvarint(meta_in)):
+        node = read_atom(meta_in)
+        knowledge[node] = _read_wire_vector(meta_in)
+    return {"vector": vector, "knowledge": knowledge}
+
+
+def _write_versioned_deltas(payload, payload_out: BinaryIO, meta_out: BinaryIO) -> None:
+    write_uvarint(meta_out, len(payload))
+    for (origin, seq), delta in payload:
+        write_atom(meta_out, origin)
+        write_uvarint(meta_out, seq)
+        _write_lattice(payload_out, delta)
+
+
+def _read_versioned_deltas(payload_in: BinaryIO, meta_in: BinaryIO):
+    pairs = []
+    for _ in range(read_uvarint(meta_in)):
+        origin = read_atom(meta_in)
+        seq = read_uvarint(meta_in)
+        pairs.append(((origin, seq), _read_lattice(payload_in)))
+    return pairs
+
+
+def _write_ops(payload, payload_out: BinaryIO, meta_out: BinaryIO) -> None:
+    write_uvarint(meta_out, len(payload))
+    for envelope in payload:
+        write_atom(meta_out, envelope.origin)
+        write_uvarint(meta_out, envelope.seq)
+        _write_wire_vector(meta_out, envelope.clock)
+        _write_lattice(payload_out, envelope.payload)
+
+
+def _read_ops(payload_in: BinaryIO, meta_in: BinaryIO):
+    # Imported lazily: repro.sync pulls this module in through the
+    # Merkle baseline, so a module-level import would be circular.
+    from repro.sync.opbased import OpEnvelope
+
+    envelopes = []
+    for _ in range(read_uvarint(meta_in)):
+        origin = read_atom(meta_in)
+        seq = read_uvarint(meta_in)
+        clock = _read_wire_vector(meta_in)
+        envelopes.append(
+            OpEnvelope(origin=origin, seq=seq, clock=clock, payload=_read_lattice(payload_in))
+        )
+    return envelopes
+
+
+def _write_seqs(out: BinaryIO, seqs) -> None:
+    write_uvarint(out, len(seqs))
+    for seq in seqs:
+        write_uvarint(out, seq)
+
+
+def _read_seqs(data: BinaryIO) -> tuple:
+    return tuple(read_uvarint(data) for _ in range(read_uvarint(data)))
+
+
+def _write_delta_seq(payload, payload_out: BinaryIO, meta_out: BinaryIO) -> None:
+    group, covered = payload
+    _write_lattice(payload_out, group)
+    _write_seqs(meta_out, covered)
+
+
+def _read_delta_seq(payload_in: BinaryIO, meta_in: BinaryIO):
+    group = _read_lattice(payload_in)
+    return (group, _read_seqs(meta_in))
+
+
+def _write_delta_ack(payload, payload_out: BinaryIO, meta_out: BinaryIO) -> None:
+    _write_seqs(meta_out, payload)
+
+
+def _read_delta_ack(payload_in: BinaryIO, meta_in: BinaryIO):
+    return _read_seqs(meta_in)
+
+
+def _write_trie_nodes(payload, payload_out: BinaryIO, meta_out: BinaryIO) -> None:
+    write_uvarint(meta_out, len(payload))
+    for prefix, node_digest in payload:
+        write_atom(meta_out, prefix)
+        write_atom(meta_out, node_digest)
+
+
+def _read_trie_nodes(payload_in: BinaryIO, meta_in: BinaryIO):
+    return tuple(
+        (read_atom(meta_in), read_atom(meta_in)) for _ in range(read_uvarint(meta_in))
+    )
+
+
+def _write_trie_leaves(payload, payload_out: BinaryIO, meta_out: BinaryIO) -> None:
+    write_uvarint(meta_out, len(payload))
+    for prefix, leaves in payload:
+        write_atom(meta_out, prefix)
+        write_uvarint(meta_out, len(leaves))
+        for leaf_digest, blob in leaves:
+            write_atom(meta_out, leaf_digest)
+            # Leaf payloads are already codec-encoded irreducibles; the
+            # blob is payload, its length prefix is framing.
+            write_uvarint(meta_out, len(blob))
+            payload_out.write(blob)
+
+
+def _read_trie_leaves(payload_in: BinaryIO, meta_in: BinaryIO):
+    buckets = []
+    for _ in range(read_uvarint(meta_in)):
+        prefix = read_atom(meta_in)
+        leaves = []
+        for _ in range(read_uvarint(meta_in)):
+            leaf_digest = read_atom(meta_in)
+            blob = _read_exact(payload_in, read_uvarint(meta_in))
+            leaves.append((leaf_digest, blob))
+        buckets.append((prefix, tuple(leaves)))
+    return tuple(buckets)
+
+
+def _write_kv_digest(payload, payload_out: BinaryIO, meta_out: BinaryIO) -> None:
+    write_atom(meta_out, payload)
+
+
+def _read_kv_digest(payload_in: BinaryIO, meta_in: BinaryIO):
+    return read_atom(meta_in)
+
+
+def _write_fingerprints(out: BinaryIO, fingerprints) -> None:
+    write_uvarint(out, len(fingerprints))
+    for entry in sorted(fingerprints):
+        write_atom(out, entry)
+
+
+def _read_fingerprints(data: BinaryIO) -> frozenset:
+    return frozenset(read_atom(data) for _ in range(read_uvarint(data)))
+
+
+def _write_kv_diff(payload, payload_out: BinaryIO, meta_out: BinaryIO) -> None:
+    _write_fingerprints(meta_out, payload)
+
+
+def _read_kv_diff(payload_in: BinaryIO, meta_in: BinaryIO):
+    return _read_fingerprints(meta_in)
+
+
+def _write_kv_repair(payload, payload_out: BinaryIO, meta_out: BinaryIO) -> None:
+    delta, echo = payload
+    if echo is None:
+        meta_out.write(b"\x00")
+    else:
+        meta_out.write(b"\x01")
+        _write_fingerprints(meta_out, echo)
+    _write_lattice(payload_out, delta)
+
+
+def _read_kv_repair(payload_in: BinaryIO, meta_in: BinaryIO):
+    has_echo = _read_exact(meta_in, 1)[0]
+    echo = _read_fingerprints(meta_in) if has_echo else None
+    return (_read_lattice(payload_in), echo)
+
+
+def _write_kv_shard(payload, payload_out: BinaryIO, meta_out: BinaryIO) -> None:
+    shard, inner = payload
+    write_uvarint(meta_out, shard)
+    _write_message(inner, payload_out, meta_out)
+
+
+def _read_kv_shard(payload_in: BinaryIO, meta_in: BinaryIO):
+    shard = read_uvarint(meta_in)
+    return (shard, _read_message(payload_in, meta_in))
+
+
+def _write_kv_batch(payload, payload_out: BinaryIO, meta_out: BinaryIO) -> None:
+    write_uvarint(meta_out, len(payload))
+    for shard, inner in payload:
+        write_uvarint(meta_out, shard)
+        _write_message(inner, payload_out, meta_out)
+
+
+def _read_kv_batch(payload_in: BinaryIO, meta_in: BinaryIO):
+    entries = []
+    for _ in range(read_uvarint(meta_in)):
+        shard = read_uvarint(meta_in)
+        entries.append((shard, _read_message(payload_in, meta_in)))
+    return tuple(entries)
+
+
+_WIRE_CODECS = {
+    "state": (_write_state, _read_state),
+    "delta": (_write_state, _read_state),
+    "keyed-delta": (_write_state, _read_state),
+    "digest": (_write_digest, _read_digest),
+    "deltas": (_write_versioned_deltas, _read_versioned_deltas),
+    "ops": (_write_ops, _read_ops),
+    "delta-seq": (_write_delta_seq, _read_delta_seq),
+    "delta-ack": (_write_delta_ack, _read_delta_ack),
+    "mt-node": (_write_trie_nodes, _read_trie_nodes),
+    "mt-leaves": (_write_trie_leaves, _read_trie_leaves),
+    "mt-leaves-final": (_write_trie_leaves, _read_trie_leaves),
+    "kv-digest": (_write_kv_digest, _read_kv_digest),
+    "kv-diff": (_write_kv_diff, _read_kv_diff),
+    "kv-repair": (_write_kv_repair, _read_kv_repair),
+    "kv-shard": (_write_kv_shard, _read_kv_shard),
+    "kv-batch": (_write_kv_batch, _read_kv_batch),
+}
+
+
+def _write_message(message, payload_out: BinaryIO, meta_out: BinaryIO) -> None:
+    try:
+        index = _WIRE_KIND_INDEX[message.kind]
+    except KeyError:
+        raise UnsupportedType(
+            f"no wire format for message kind {message.kind!r} "
+            f"(known kinds: {', '.join(WIRE_KINDS)})"
+        ) from None
+    write_uvarint(meta_out, index)
+    write_uvarint(meta_out, message.payload_units)
+    write_uvarint(meta_out, message.metadata_units)
+    writer, _ = _WIRE_CODECS[message.kind]
+    writer(message.payload, payload_out, meta_out)
+
+
+def _read_message(payload_in: BinaryIO, meta_in: BinaryIO):
+    payload_start = payload_in.tell()
+    meta_start = meta_in.tell()
+    index = read_uvarint(meta_in)
+    if index >= len(WIRE_KINDS):
+        raise CodecError(f"unknown wire kind tag {index}")
+    kind = WIRE_KINDS[index]
+    payload_units = read_uvarint(meta_in)
+    metadata_units = read_uvarint(meta_in)
+    _, reader = _WIRE_CODECS[kind]
+    try:
+        payload = reader(payload_in, meta_in)
+    except CodecError:
+        raise
+    except (TypeError, ValueError) as exc:
+        raise CodecError(f"malformed {kind} payload: {exc}") from exc
+    return _WireMessage(
+        kind=kind,
+        payload=payload,
+        payload_units=payload_units,
+        payload_bytes=payload_in.tell() - payload_start,
+        metadata_bytes=meta_in.tell() - meta_start,
+        metadata_units=metadata_units,
+    )
+
+
+def frame_message(message) -> WireFrame:
+    """Encode a protocol message and report its measured size split."""
+    payload_out = BytesIO()
+    meta_out = BytesIO()
+    _write_message(message, payload_out, meta_out)
+    payload_section = payload_out.getvalue()
+    meta_section = meta_out.getvalue()
+    out = BytesIO()
+    write_uvarint(out, len(payload_section))
+    out.write(payload_section)
+    write_uvarint(out, len(meta_section))
+    out.write(meta_section)
+    data = out.getvalue()
+    return WireFrame(
+        data=data,
+        payload_bytes=len(payload_section),
+        metadata_bytes=len(data) - len(payload_section),
+    )
+
+
+def encode_message(message) -> bytes:
+    """Serialize a protocol :class:`~repro.sync.protocol.Message`.
+
+    Inverse: :func:`decode_message`.  The encoding covers every wire
+    kind the library's synchronizers and the kv store emit (see
+    :data:`WIRE_KINDS`); an unknown kind raises
+    :class:`UnsupportedType`.
+    """
+    return frame_message(message).data
+
+
+def decode_message(data: bytes):
+    """Inverse of :func:`encode_message`.
+
+    The returned message carries *measured* sizes: ``payload_bytes`` is
+    the payload section's length and ``metadata_bytes`` is everything
+    else in the envelope (metadata section plus framing), so
+    ``total_bytes == len(data)`` always holds.  ``payload_units`` and
+    ``metadata_units`` are the model metrics carried in the envelope.
+    """
+    stream = BytesIO(data)
+    payload_section = _read_exact(stream, read_uvarint(stream))
+    meta_section = _read_exact(stream, read_uvarint(stream))
+    if stream.read(1):
+        raise CodecError("trailing bytes after message envelope")
+    payload_in = BytesIO(payload_section)
+    meta_in = BytesIO(meta_section)
+    message = _read_message(payload_in, meta_in)
+    if payload_in.read(1) or meta_in.read(1):
+        raise CodecError("trailing bytes inside message sections")
+    return _replace(
+        message,
+        payload_bytes=len(payload_section),
+        metadata_bytes=len(data) - len(payload_section),
+    )
+
+
+# Imported at the bottom on purpose: ``repro.sync`` pulls this module
+# in while initializing (through the Merkle baseline), so importing the
+# protocol Message at the top would be circular.
+from dataclasses import replace as _replace  # noqa: E402
+
+from repro.sync.protocol import Message as _WireMessage  # noqa: E402

@@ -73,6 +73,10 @@ class KVConfig:
     repair_fanout: int = 1
     repair_mode: str = "blanket"
     batch: bool = True
+    #: ``"sim"`` replays on the deterministic simulator (size-model
+    #: bytes); ``"tcp"`` runs the same replay over localhost asyncio
+    #: TCP sockets (measured wire bytes of the envelope codec).
+    transport: str = "sim"
 
     def ring(self) -> HashRing:
         return HashRing(
@@ -166,6 +170,8 @@ class KVSweepResult:
         )
         if config.budget_bytes is not None:
             header += f", budget {human_bytes(config.budget_bytes)}/tick"
+        if config.transport != "sim":
+            header += f", transport {config.transport} (measured wire bytes)"
         rows = []
         baseline = self.cells.get("delta-based-bp-rr")
         for label, cell in self.cells.items():
@@ -217,11 +223,17 @@ def run_kv_cell(config: KVConfig, algorithm: str, workload=None) -> KVCell:
     if workload is None:
         workload = config.make_workload(ring)
     cluster = KVCluster(
-        ring, KV_ALGORITHMS[algorithm], antientropy=config.antientropy()
+        ring,
+        KV_ALGORITHMS[algorithm],
+        antientropy=config.antientropy(),
+        transport=config.transport,
     )
-    cluster.run_rounds(workload.rounds, workload.updates_for)
-    drain_rounds = cluster.drain()
-    return _measure_cell(cluster, algorithm, drain_rounds)
+    try:
+        cluster.run_rounds(workload.rounds, workload.updates_for)
+        drain_rounds = cluster.drain()
+        return _measure_cell(cluster, algorithm, drain_rounds)
+    finally:
+        cluster.close()
 
 
 def _measure_cell(cluster: KVCluster, algorithm: str, drain_rounds: int) -> KVCell:
@@ -265,6 +277,8 @@ class KVRepairComparison:
             f"{config.replication}, partition + heal + crash(lose_state), "
             f"repair interval {config.repair_interval}, seed {config.seed}"
         )
+        if config.transport != "sim":
+            header += f", transport {config.transport} (measured wire bytes)"
         rows = []
         for mode, cell in self.cells.items():
             rows.append(
@@ -326,26 +340,34 @@ def run_kv_repair_cell(
         repair_mode=mode,
         batch=config.batch,
     )
-    cluster = KVCluster(ring, KV_ALGORITHMS[algorithm], antientropy=antientropy)
+    cluster = KVCluster(
+        ring,
+        KV_ALGORITHMS[algorithm],
+        antientropy=antientropy,
+        transport=config.transport,
+    )
 
-    phase = max(1, workload.rounds // 3)
-    updates = workload.updates_for
-    # Healthy traffic, then a partition that keeps absorbing writes on
-    # both sides (synchronization across the cut is refused and the
-    # flushed δ-groups are gone), then heal.
-    cluster.run_rounds(phase, updates)
-    cluster.partition(range(config.replicas // 2))
-    for round_index in range(phase, 2 * phase):
-        cluster.run_round(lambda node, r=round_index: updates(r, node))
-    cluster.heal()
-    # A replica loses its disk while the remaining schedule plays out.
-    victim = config.replicas - 1
-    cluster.crash(victim, lose_state=True)
-    for round_index in range(2 * phase, workload.rounds):
-        cluster.run_round(lambda node, r=round_index: updates(r, node))
-    cluster.recover(victim)
-    drain_rounds = cluster.drain()
-    return _measure_cell(cluster, algorithm, drain_rounds)
+    try:
+        phase = max(1, workload.rounds // 3)
+        updates = workload.updates_for
+        # Healthy traffic, then a partition that keeps absorbing writes on
+        # both sides (synchronization across the cut is refused and the
+        # flushed δ-groups are gone), then heal.
+        cluster.run_rounds(phase, updates)
+        cluster.partition(range(config.replicas // 2))
+        for round_index in range(phase, 2 * phase):
+            cluster.run_round(lambda node, r=round_index: updates(r, node))
+        cluster.heal()
+        # A replica loses its disk while the remaining schedule plays out.
+        victim = config.replicas - 1
+        cluster.crash(victim, lose_state=True)
+        for round_index in range(2 * phase, workload.rounds):
+            cluster.run_round(lambda node, r=round_index: updates(r, node))
+        cluster.recover(victim)
+        drain_rounds = cluster.drain()
+        return _measure_cell(cluster, algorithm, drain_rounds)
+    finally:
+        cluster.close()
 
 
 def run_kv_repair_comparison(

@@ -1,15 +1,17 @@
-"""The replicated store on the simulated cluster, faults included.
+"""The replicated store on the cluster harness, faults included.
 
 :class:`KVCluster` specializes :class:`repro.sim.network.Cluster` for
-the sharded store: every simulated node runs a :class:`~repro.kv.store.
-KVStore` process, client requests are routed to a live owner of the
-key's shard (a smart client with a copy of the ring), and convergence
-is judged **per shard** — each replica group must agree on its shard's
-keyspace, while replicas that do not own a shard hold nothing for it.
+the sharded store: every node runs a :class:`~repro.kv.store.KVStore`
+process, client requests are routed to a live owner of the key's shard
+(a smart client with a copy of the ring), and convergence is judged
+**per shard** — each replica group must agree on its shard's keyspace,
+while replicas that do not own a shard hold nothing for it.
 
-All of the base cluster's machinery applies unchanged: deterministic
-event-driven delivery, the :class:`~repro.sim.metrics.MetricsCollector`
-byte/unit accounting, message loss, and the fault-injection API
+All of the base cluster's machinery applies unchanged: the pluggable
+transport (deterministic event-driven simulation by default, real
+localhost TCP sockets with ``transport="tcp"``), the
+:class:`~repro.sim.metrics.MetricsCollector` byte/unit accounting,
+message loss, and the fault-injection API
 (:meth:`~repro.sim.network.Cluster.crash`, :meth:`partition`,
 :meth:`heal`, :meth:`recover`).  Combined with the scheduler's repair
 machinery — blanket full-state pushes on a timer, or divergence-driven
@@ -21,7 +23,9 @@ synchronization protocol.
 
 from __future__ import annotations
 
-from typing import Any, Hashable, List, Optional, Tuple
+from typing import Any, Hashable, List, Optional, Tuple, Union
+
+from repro.net.transport import Transport
 
 from repro.kv.antientropy import AntiEntropyConfig
 from repro.kv.ring import HashRing
@@ -51,6 +55,8 @@ class KVCluster(Cluster):
         schema: Key typing; defaults to the prefix conventions.
         antientropy: Scheduler knobs (budget, batching, repair).
         config: Full simulation config; overrides ``topology``.
+        transport: ``"sim"`` (default), ``"tcp"``, or a constructed
+            :class:`~repro.net.transport.Transport`.
     """
 
     def __init__(
@@ -62,6 +68,7 @@ class KVCluster(Cluster):
         schema: Optional[Schema] = None,
         antientropy: Optional[AntiEntropyConfig] = None,
         config: Optional[ClusterConfig] = None,
+        transport: Union[str, Transport] = "sim",
     ) -> None:
         if config is None:
             if topology is None:
@@ -80,7 +87,7 @@ class KVCluster(Cluster):
         #: ``crash(lose_state=True)``, so cluster-wide accounting
         #: (repair bytes, probes) survives rebuilds.
         self._retired_scheduler_stats: dict = {}
-        super().__init__(config, factory, MapLattice())
+        super().__init__(config, factory, MapLattice(), transport=transport)
 
     def crash(self, node: int, lose_state: bool = False) -> None:
         if not 0 <= node < self.topology.n:

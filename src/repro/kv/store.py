@@ -11,8 +11,9 @@ anti-entropy traffic flows only between co-owners, not the whole
 cluster.
 
 Outwardly the store is itself a :class:`Synchronizer`, which is what
-lets it run unmodified on the simulated cluster of
-:mod:`repro.sim.network`:
+lets one :class:`~repro.net.runtime.ReplicaRuntime` host it unmodified
+over any :class:`~repro.net.transport.Transport` — the deterministic
+simulator or real asyncio TCP sockets:
 
 * ``local_update`` consumes a :class:`KVUpdate` — a typed operation on
   one key — resolves the key's type through the :class:`~repro.kv.
@@ -137,7 +138,11 @@ class KVStore(Synchronizer):
                 )
             peers = [peer for peer in group if peer != replica]
             self.shards[shard] = inner_factory(
-                replica, peers, bottom, n_nodes, size_model
+                replica=replica,
+                neighbors=peers,
+                bottom=bottom,
+                n_nodes=n_nodes,
+                size_model=size_model,
             )
             shard_peers[shard] = tuple(peers)
         self.scheduler = AntiEntropyScheduler(
@@ -316,12 +321,16 @@ class KVStore(Synchronizer):
         self, src: int, shard: int, inner: Synchronizer, message: Message
     ) -> Optional[Message]:
         if message.kind == "kv-repair":
+            delta, echo = message.payload
+            # "Did this repair ship content?" is judged on the lattice,
+            # not on payload_bytes: over TCP a bottom delta still
+            # measures a couple of encoded bytes, and counting it as a
+            # repair would make the sim/tcp repair comparison diverge.
             self.scheduler.note_repair_traffic(
                 message.payload_bytes,
                 message.metadata_bytes,
-                with_payload=message.payload_bytes > 0,
+                with_payload=not delta.is_bottom,
             )
-            delta, echo = message.payload
             absorbed = inner.absorb_state(delta, src)
             if not absorbed.is_bottom:
                 self.scheduler.note_delta_activity(shard, src)
@@ -485,11 +494,11 @@ def kv_store_factory(
         size_model: SizeModel = DEFAULT_SIZE_MODEL,
     ) -> KVStore:
         return KVStore(
-            replica,
-            neighbors,
-            bottom,
-            n_nodes,
-            size_model,
+            replica=replica,
+            neighbors=neighbors,
+            bottom=bottom,
+            n_nodes=n_nodes,
+            size_model=size_model,
             ring=ring,
             inner_factory=inner_factory,
             schema=schema,

@@ -1,0 +1,43 @@
+"""Transport-abstracted replica runtime.
+
+The paper's protocols are defined over an abstract "ship these messages
+to neighbours" step; :mod:`repro.net` is that step made explicit as an
+API seam.  It splits what used to be fused inside the simulated cluster
+into three layers:
+
+* :class:`~repro.net.runtime.ReplicaRuntime` — one replica's event
+  loop: it owns one :class:`~repro.sync.protocol.Synchronizer` and
+  drives ``local_update`` / ``sync_messages`` / ``handle_message`` /
+  ``absorb_state`` identically over any transport, recording the
+  processing costs the paper measures;
+* :class:`~repro.net.transport.Transport` — the delivery substrate:
+  outbound sends, the delivery callback into the runtimes, the round
+  clock, peer addressing over a topology, and the loss/fault hooks
+  (crash, partition, message loss) the recovery experiments exercise;
+* two implementations — :class:`~repro.net.sim.SimTransport`, the
+  deterministic discrete-event engine the paper's figures are
+  regenerated on (bit-for-bit the pre-seam simulator), and
+  :class:`~repro.net.tcp.AsyncTcpTransport`, real localhost TCP
+  sockets over :mod:`asyncio` with the length-prefixed envelope codec
+  of :func:`repro.codec.encode_message`, where ``payload_bytes`` and
+  ``metadata_bytes`` are *measured wire bytes* rather than size-model
+  estimates.
+
+``repro.sim.network.Cluster`` (and therefore ``repro.kv.KVCluster``)
+is a thin facade over these layers: same constructors, same public
+methods, plus ``transport="tcp"`` to run any synchronizer over real
+sockets.
+"""
+
+from repro.net.runtime import ReplicaRuntime
+from repro.net.sim import SimTransport
+from repro.net.tcp import AsyncTcpTransport
+from repro.net.transport import Transport, TransportStalled
+
+__all__ = [
+    "AsyncTcpTransport",
+    "ReplicaRuntime",
+    "SimTransport",
+    "Transport",
+    "TransportStalled",
+]

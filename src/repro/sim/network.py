@@ -1,35 +1,86 @@
-"""The simulated cluster: nodes, links, timers, and delivery.
+"""The cluster harness: replicas, runtimes, and a pluggable transport.
 
 Reproduces the paper's experimental harness (Section V-A/B): every node
 holds one replica behind a synchronization protocol, applies workload
 updates, and synchronizes with its overlay neighbours once per interval
-(the paper uses one second).  Link latency is small relative to the
-interval, so a message sent in round *k* — and any replies it triggers,
-such as Scuttlebutt's delta responses — is processed well before round
-*k+1* begins, exactly as in the paper's deployment.
+(the paper uses one second).  After the workload's update rounds
+finish, the cluster keeps running synchronization-only *drain* rounds
+until every replica holds the same state (global convergence), which is
+the cross-algorithm comparison point for total transmission.
 
-The cluster is event-driven and fully deterministic: node timers are
-staggered by a microscopic offset so "simultaneous" ticks have a stable
-order, and message delivery preserves per-link FIFO.  After the
-workload's update rounds finish, the cluster keeps running
-synchronization-only *drain* rounds until every replica holds the same
-state (global convergence), which is the cross-algorithm comparison
-point for total transmission.
+Since the :mod:`repro.net` seam, :class:`Cluster` is a thin facade: it
+builds one :class:`~repro.net.runtime.ReplicaRuntime` per node (each
+owning one :class:`~repro.sync.protocol.Synchronizer`) and wires them
+to a :class:`~repro.net.transport.Transport`:
+
+* ``transport="sim"`` (default) — :class:`~repro.net.sim.SimTransport`,
+  the deterministic discrete-event engine: staggered timers, per-link
+  FIFO delivery, seeded loss, severed-vs-dropped fault accounting.
+  Byte-for-byte identical to the pre-seam simulator.
+* ``transport="tcp"`` — :class:`~repro.net.tcp.AsyncTcpTransport`,
+  real localhost TCP sockets where the recorded ``payload_bytes`` /
+  ``metadata_bytes`` are measured wire bytes of the
+  :func:`repro.codec.encode_message` envelopes.
+
+The constructor and every public method predate the seam, so existing
+experiments, tests, and drivers run unchanged.
 """
 
 from __future__ import annotations
 
-import random
-import time as _time
-from dataclasses import dataclass, field
-from typing import Callable, FrozenSet, Iterable, List, Optional, Sequence, Tuple
+from collections.abc import Sequence as SequenceABC
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Iterable, List, Optional, Sequence, Union
 
 from repro.lattice.base import Lattice
-from repro.sim.events import EventQueue
-from repro.sim.metrics import MemorySample, MessageRecord, MetricsCollector
+from repro.sim.metrics import MetricsCollector
 from repro.sizes import SizeModel, DEFAULT_SIZE_MODEL
 from repro.sim.topology import Topology
-from repro.sync.protocol import DeltaMutator, Message, Send, Synchronizer
+from repro.sync.protocol import DeltaMutator, Send, Synchronizer
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.net.runtime import ReplicaRuntime
+    from repro.net.transport import Transport
+
+
+class _SynchronizerView(SequenceABC):
+    """A live, indexable view of the runtimes' protocol instances.
+
+    ``cluster.nodes[i]`` predates the runtime seam and sits on hot
+    paths (per-shard convergence checks, request routing), so it must
+    stay O(1) per access and track replica rebuilds — hence a view over
+    the runtimes rather than a list materialized per property read.
+    """
+
+    __slots__ = ("_runtimes",)
+
+    def __init__(self, runtimes: Sequence["ReplicaRuntime"]) -> None:
+        self._runtimes = runtimes
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return [runtime.synchronizer for runtime in self._runtimes[index]]
+        return self._runtimes[index].synchronizer
+
+    def __len__(self) -> int:
+        return len(self._runtimes)
+
+    def __repr__(self) -> str:
+        return repr(list(self))
+
+
+def transport_registry() -> dict:
+    """Named transport constructors selectable via ``Cluster(transport=...)``.
+
+    Imported lazily: :mod:`repro.net` and :mod:`repro.sim` reference
+    each other (the transports use the event queue and metrics, this
+    facade builds the transports), and deferring the lookup keeps both
+    packages importable in either order.
+    """
+    from repro.net.sim import SimTransport
+    from repro.net.tcp import AsyncTcpTransport
+
+    return {"sim": SimTransport, "tcp": AsyncTcpTransport}
 
 
 @dataclass(frozen=True)
@@ -69,61 +120,127 @@ class ClusterConfig:
 
 
 class Cluster:
-    """A set of replicas synchronizing over a topology."""
+    """A set of replicas synchronizing over a topology.
+
+    Args:
+        config: Simulation parameters (topology, interval, loss, sizes).
+        factory: Synchronizer factory, called with keyword arguments
+            (``replica=``, ``neighbors=``, ``bottom=``, ``n_nodes=``,
+            ``size_model=``) for each node.
+        bottom: The bottom element every replica starts from.
+        transport: ``"sim"`` (default), ``"tcp"``, or an already
+            constructed :class:`~repro.net.transport.Transport`.
+    """
 
     def __init__(
         self,
         config: ClusterConfig,
         factory: Callable[..., Synchronizer],
         bottom: Lattice,
+        transport: Union[str, Transport] = "sim",
     ) -> None:
+        from repro.net.runtime import ReplicaRuntime
+
         self.config = config
         self.topology = config.topology
-        self.nodes: List[Synchronizer] = [
-            factory(
-                node,
-                config.topology.neighbors(node),
-                bottom,
-                config.topology.n,
-                config.size_model,
-            )
-            for node in range(config.topology.n)
-        ]
-        self.metrics = MetricsCollector(config.topology.n)
-        self.queue = EventQueue()
-        self._round = 0
-        self._loss_rng = random.Random(config.loss_seed)
-        #: Transmitted messages eaten by random network loss
-        #: (``loss_rate`` coin flips) — actual packet loss.
-        self.messages_dropped = 0
-        #: In-flight messages killed because their destination crashed
-        #: or the link was severed mid-transit.  Kept separate from
-        #: ``messages_dropped`` so fault experiments can report network
-        #: loss and fault-induced kills independently.
-        self.messages_severed = 0
-        #: Sends refused before transmission (down peer / severed link).
-        self.messages_blocked = 0
-        #: Workload updates discarded because their node was down.
-        self.updates_skipped = 0
         self._factory = factory
         self._bottom = bottom
-        #: Nodes currently crashed: they neither tick nor receive.
-        self.down: set = set()
-        #: Active partition as disjoint node groups (``None`` = healthy).
-        self._groups: Optional[Tuple[FrozenSet[int], ...]] = None
+        if isinstance(transport, str):
+            registry = transport_registry()
+            try:
+                transport = registry[transport](
+                    config, MetricsCollector(config.topology.n)
+                )
+            except KeyError:
+                raise ValueError(
+                    f"unknown transport {transport!r} "
+                    f"(choose from: {', '.join(sorted(registry))})"
+                ) from None
+        self.transport = transport
+        #: Shared collector: the transport records messages and memory
+        #: samples, the runtimes record processing costs.
+        self.metrics = transport.metrics
+        self.runtimes: List[ReplicaRuntime] = [
+            ReplicaRuntime(self._build_synchronizer(node), self.metrics)
+            for node in range(config.topology.n)
+        ]
+        self._nodes_view = _SynchronizerView(self.runtimes)
+        self.transport.bind(self.runtimes)
+
+    def _build_synchronizer(self, node: int) -> Synchronizer:
+        """Construct one node's protocol instance, by keyword.
+
+        Keyword construction is the :data:`~repro.sync.protocol.
+        SynchronizerFactory` contract: runtime-built replicas cannot
+        silently transpose positional arguments.
+        """
+        return self._factory(
+            replica=node,
+            neighbors=self.topology.neighbors(node),
+            bottom=self._bottom,
+            n_nodes=self.topology.n,
+            size_model=self.config.size_model,
+        )
 
     # ------------------------------------------------------------------
-    # Driving the simulation.
+    # Legacy surface: the protocol instances and transport state.
+    # ------------------------------------------------------------------
+
+    @property
+    def nodes(self) -> Sequence[Synchronizer]:
+        """The per-node protocol instances (index == replica id).
+
+        A live O(1)-per-access view: indexing reads through to the
+        runtime, so a replica rebuilt by ``crash(lose_state=True)`` is
+        visible immediately.
+        """
+        return self._nodes_view
+
+    @property
+    def queue(self):
+        """The simulator's event queue (sim transport only)."""
+        return self.transport.queue
+
+    @property
+    def down(self) -> set:
+        """Nodes currently crashed: they neither tick nor receive."""
+        return self.transport.down
+
+    @property
+    def messages_dropped(self) -> int:
+        """Transmitted messages eaten by random network loss."""
+        return self.transport.messages_dropped
+
+    @property
+    def messages_severed(self) -> int:
+        """In-flight messages killed by a crash or severed link."""
+        return self.transport.messages_severed
+
+    @property
+    def messages_blocked(self) -> int:
+        """Sends refused before transmission (down peer / severed link)."""
+        return self.transport.messages_blocked
+
+    @property
+    def updates_skipped(self) -> int:
+        """Workload updates discarded because their node was down."""
+        return self.transport.updates_skipped
+
+    @property
+    def rounds_run(self) -> int:
+        return self.transport.rounds_run
+
+    @property
+    def now(self) -> float:
+        return self.transport.now
+
+    # ------------------------------------------------------------------
+    # Driving the cluster.
     # ------------------------------------------------------------------
 
     def apply_update(self, node: int, delta_mutator: DeltaMutator) -> Lattice:
         """Run one workload update on ``node``, with cost accounting."""
-        synchronizer = self.nodes[node]
-        started = _time.perf_counter()
-        delta = synchronizer.local_update(delta_mutator)
-        elapsed = _time.perf_counter() - started
-        self.metrics.record_processing(node, delta.size_units(), elapsed)
-        return delta
+        return self.runtimes[node].local_update(delta_mutator)
 
     def run_round(
         self,
@@ -134,28 +251,7 @@ class Cluster:
         ``updates`` maps a node index to the δ-mutators it applies this
         round (``None`` for a synchronization-only drain round).
         """
-        base = self._round * self.config.sync_interval_ms
-        stagger = 1e-3
-
-        if updates is not None:
-            for node in range(self.topology.n):
-                mutators = updates(node)
-                if not mutators:
-                    continue
-                self.queue.schedule(
-                    base + node * stagger,
-                    self._update_action,
-                    payload=(node, tuple(mutators)),
-                )
-
-        sync_at = base + self.config.sync_interval_ms / 2
-        for node in range(self.topology.n):
-            self.queue.schedule(sync_at + node * stagger, self._sync_action, payload=node)
-
-        end_of_round = base + self.config.sync_interval_ms - stagger
-        self.queue.run(until=end_of_round)
-        self._sample_memory(end_of_round)
-        self._round += 1
+        self.transport.run_round(updates)
 
     def run_rounds(
         self,
@@ -186,11 +282,19 @@ class Cluster:
 
     def converged(self) -> bool:
         """True when every live replica holds the same lattice state."""
-        live = [node for i, node in enumerate(self.nodes) if i not in self.down]
+        live = [
+            runtime.synchronizer
+            for index, runtime in enumerate(self.runtimes)
+            if index not in self.down
+        ]
         if len(live) < 2:
             return True
         first = live[0].state
         return all(node.state == first for node in live[1:])
+
+    def close(self) -> None:
+        """Release transport resources (sockets, loops); idempotent."""
+        self.transport.close()
 
     # ------------------------------------------------------------------
     # Fault injection: crashes and network partitions.
@@ -203,17 +307,9 @@ class Cluster:
         comes back as a fresh bottom replica (disk loss); otherwise it
         resumes from the state it crashed with (process restart).
         """
-        if not 0 <= node < self.topology.n:
-            raise ValueError(f"no such node {node}")
-        self.down.add(node)
+        self.transport.crash(node)
         if lose_state:
-            self.nodes[node] = self._factory(
-                node,
-                self.topology.neighbors(node),
-                self._bottom,
-                self.topology.n,
-                self.config.size_model,
-            )
+            self.runtimes[node].replace(self._build_synchronizer(node))
 
     def recover(self, node: int) -> None:
         """Bring a crashed node back into the cluster.
@@ -224,10 +320,8 @@ class Cluster:
         machinery (anti-entropy repair phases, coldness thresholds)
         synchronized with the replicas that kept running.
         """
-        self.down.discard(node)
-        restore = getattr(self.nodes[node], "restore_clock", None)
-        if restore is not None:
-            restore(self._round)
+        self.transport.recover(node)
+        self.runtimes[node].restore_clock(self.rounds_run)
 
     def partition(self, *groups: Iterable[int]) -> None:
         """Sever every link between nodes of different ``groups``.
@@ -235,147 +329,20 @@ class Cluster:
         Nodes not named in any group form one implicit extra group, so
         ``partition([0, 1])`` isolates nodes 0-1 from everyone else.
         """
-        explicit = [frozenset(group) for group in groups]
-        seen: set = set()
-        for group in explicit:
-            out_of_range = [n for n in group if not 0 <= n < self.topology.n]
-            if out_of_range:
-                raise ValueError(f"no such nodes {sorted(out_of_range)}")
-            if group & seen:
-                raise ValueError("partition groups must be disjoint")
-            seen |= group
-        rest = frozenset(range(self.topology.n)) - seen
-        if rest:
-            explicit.append(rest)
-        self._groups = tuple(explicit)
+        self.transport.partition(*groups)
 
     def heal(self) -> None:
         """Restore full connectivity (crashed nodes stay down)."""
-        self._groups = None
+        self.transport.heal()
 
     @property
     def partitioned(self) -> bool:
-        return self._groups is not None
+        return self.transport.partitioned
 
     def link_up(self, src: int, dst: int) -> bool:
         """True when a message can currently travel ``src → dst``."""
-        if src in self.down or dst in self.down:
-            return False
-        if self._groups is None:
-            return True
-        for group in self._groups:
-            if src in group:
-                return dst in group
-        return True
-
-    @property
-    def rounds_run(self) -> int:
-        return self._round
-
-    @property
-    def now(self) -> float:
-        return self.queue.now
-
-    # ------------------------------------------------------------------
-    # Event actions.
-    # ------------------------------------------------------------------
-
-    def _update_action(self, event) -> None:
-        node, mutators = event.payload
-        if node in self.down:
-            # The client's replica is gone; its scheduled operations
-            # are lost, and visibly so.
-            self.updates_skipped += len(mutators)
-            return
-        for mutator in mutators:
-            self.apply_update(node, mutator)
-
-    def _sync_action(self, event) -> None:
-        node: int = event.payload
-        if node in self.down:
-            return
-        synchronizer = self.nodes[node]
-        started = _time.perf_counter()
-        sends = synchronizer.sync_messages()
-        elapsed = _time.perf_counter() - started
-        produced = sum(send.message.payload_units for send in sends)
-        self.metrics.record_processing(node, produced, elapsed)
-        self._dispatch(node, sends)
-
-    def _deliver_action(self, event) -> None:
-        src, dst, message = event.payload
-        if not self.link_up(src, dst):
-            # The destination crashed — or the link was severed — while
-            # the message was in flight.
-            self.messages_severed += 1
-            return
-        synchronizer = self.nodes[dst]
-        started = _time.perf_counter()
-        replies = synchronizer.handle_message(src, message)
-        elapsed = _time.perf_counter() - started
-        self.metrics.record_processing(dst, message.payload_units, elapsed)
-        self._dispatch(dst, replies)
+        return self.transport.link_up(src, dst)
 
     def _dispatch(self, src: int, sends: Sequence[Send]) -> None:
-        """Record and schedule delivery of outbound messages."""
-        for send in sends:
-            if send.dst not in self.nodes[src].neighbors:
-                raise ValueError(
-                    f"node {src} attempted to message non-neighbour {send.dst}"
-                )
-            if not self.link_up(src, send.dst):
-                # Connection refused: nothing crossed the wire, so the
-                # send is not recorded as transmission.  The sender does
-                # learn the peer is unreachable — the signal stores feed
-                # into divergence-driven repair scheduling.
-                self.messages_blocked += 1
-                note_blocked = getattr(self.nodes[src], "note_send_blocked", None)
-                if note_blocked is not None:
-                    note_blocked(send.dst)
-                continue
-            self.metrics.record_message(
-                MessageRecord(
-                    time=self.queue.now,
-                    src=src,
-                    dst=send.dst,
-                    kind=send.message.kind,
-                    payload_units=send.message.payload_units,
-                    payload_bytes=send.message.payload_bytes,
-                    metadata_bytes=send.message.metadata_bytes,
-                    metadata_units=send.message.metadata_units,
-                )
-            )
-            if (
-                self.config.loss_rate > 0.0
-                and self._loss_rng.random() < self.config.loss_rate
-            ):
-                # The message was transmitted (and counted) but the
-                # network ate it.
-                self.messages_dropped += 1
-                continue
-            self.queue.schedule_in(
-                self.config.latency_ms,
-                self._deliver_action,
-                payload=(src, send.dst, send.message),
-            )
-
-    # ------------------------------------------------------------------
-    # Sampling.
-    # ------------------------------------------------------------------
-
-    def _sample_memory(self, at: float) -> None:
-        for index, node in enumerate(self.nodes):
-            if index in self.down:
-                continue
-            self.metrics.record_memory(
-                MemorySample(
-                    time=at,
-                    node=index,
-                    state_units=node.state_units(),
-                    buffer_units=node.buffer_units(),
-                    state_bytes=node.state_bytes(),
-                    buffer_bytes=node.buffer_bytes(),
-                    metadata_bytes=node.metadata_bytes(),
-                    metadata_units=node.metadata_units(),
-                )
-            )
+        """Hand outbound messages to the transport (testing hook)."""
+        self.transport.send(src, sends)

@@ -1,7 +1,10 @@
 """The synchronizer interface shared by every protocol.
 
 A :class:`Synchronizer` is one replica's view of a synchronization
-protocol.  The network simulator drives it through three entry points:
+protocol.  It is transport-neutral: a hosting runtime — the
+deterministic simulator, real asyncio TCP sockets, anything
+implementing :class:`repro.net.transport.Transport` — drives it
+through three entry points:
 
 * :meth:`~Synchronizer.local_update` — the application performed an
   update operation on the replicated object;
@@ -120,7 +123,7 @@ class Synchronizer(ABC):
         self.size_model = size_model
 
     # ------------------------------------------------------------------
-    # Event handlers driven by the simulator.
+    # Event handlers driven by the hosting runtime (any transport).
     # ------------------------------------------------------------------
 
     @abstractmethod
@@ -216,4 +219,9 @@ class Synchronizer(ABC):
 
 
 #: A callable building a synchronizer for one node of a cluster.
+#:
+#: Factories are invoked with keyword arguments — ``replica=``,
+#: ``neighbors=``, ``bottom=``, ``n_nodes=``, ``size_model=`` — so a
+#: runtime-built replica can never silently transpose positional
+#: arguments; every factory must use exactly these parameter names.
 SynchronizerFactory = Callable[[int, Sequence[int], Lattice, int, SizeModel], Synchronizer]

@@ -1,0 +1,161 @@
+"""Units for the repro.net seam: runtime, transport contract, facade."""
+
+import pytest
+
+from repro.lattice.set_lattice import SetLattice
+from repro.net import AsyncTcpTransport, ReplicaRuntime, SimTransport
+from repro.sim.metrics import MetricsCollector
+from repro.sim.network import Cluster, ClusterConfig
+from repro.sim.topology import line, full_mesh
+from repro.sync import StateBased, delta_bp_rr
+from repro.workloads import GSetWorkload
+
+
+def make_sync(replica=0, neighbors=(1,), n=2):
+    return StateBased(
+        replica=replica,
+        neighbors=neighbors,
+        bottom=SetLattice(),
+        n_nodes=n,
+    )
+
+
+class TestReplicaRuntime:
+    def test_records_processing_costs(self):
+        metrics = MetricsCollector(2)
+        runtime = ReplicaRuntime(make_sync(), metrics)
+        runtime.local_update(lambda state: SetLattice({"a"}))
+        assert metrics.per_node[0].processing_units == 1
+        assert metrics.per_node[0].processing_seconds > 0
+
+    def test_tick_without_transport_is_an_error(self):
+        runtime = ReplicaRuntime(make_sync())
+        runtime.local_update(lambda state: SetLattice({"a"}))
+        with pytest.raises(RuntimeError):
+            runtime.tick()
+
+    def test_replace_rejects_identity_change(self):
+        runtime = ReplicaRuntime(make_sync(replica=0))
+        with pytest.raises(ValueError):
+            runtime.replace(make_sync(replica=1, neighbors=(0,)))
+
+    def test_fault_hooks_reach_the_synchronizer(self):
+        calls = []
+
+        class Hooked(StateBased):
+            def note_send_blocked(self, dst):
+                calls.append(("blocked", dst))
+
+            def restore_clock(self, ticks):
+                calls.append(("clock", ticks))
+
+        runtime = ReplicaRuntime(
+            Hooked(replica=0, neighbors=(1,), bottom=SetLattice(), n_nodes=2)
+        )
+        runtime.note_send_blocked(1)
+        runtime.restore_clock(7)
+        assert calls == [("blocked", 1), ("clock", 7)]
+
+    def test_hooks_are_optional(self):
+        runtime = ReplicaRuntime(make_sync())
+        runtime.note_send_blocked(1)  # StateBased has no hook: no-op
+        runtime.restore_clock(3)
+
+
+class TestClusterFacade:
+    def test_unknown_transport_name_is_rejected(self):
+        with pytest.raises(ValueError, match="unknown transport"):
+            Cluster(ClusterConfig(line(2)), StateBased, SetLattice(), "telegraph")
+
+    def test_explicit_transport_instance_shares_metrics(self):
+        config = ClusterConfig(line(2))
+        transport = SimTransport(config, MetricsCollector(2))
+        cluster = Cluster(config, StateBased, SetLattice(), transport)
+        assert cluster.metrics is transport.metrics
+        workload = GSetWorkload(2, rounds=2)
+        cluster.run_rounds(2, workload.updates_for)
+        cluster.drain()
+        assert cluster.converged()
+        assert transport.metrics.message_count > 0
+
+    def test_transport_rejects_wrong_runtime_count(self):
+        config = ClusterConfig(line(3))
+        transport = SimTransport(config, MetricsCollector(3))
+        with pytest.raises(ValueError, match="3-node topology"):
+            transport.bind([ReplicaRuntime(make_sync())])
+
+    def test_lose_state_rebuilds_through_the_runtime(self):
+        config = ClusterConfig(line(2))
+        cluster = Cluster(config, delta_bp_rr, SetLattice())
+        cluster.apply_update(0, lambda state: SetLattice({"a"}))
+        before = cluster.runtimes[0].synchronizer
+        cluster.crash(0, lose_state=True)
+        after = cluster.runtimes[0].synchronizer
+        assert after is not before
+        assert after.state.is_bottom
+        assert cluster.nodes[0] is after  # the facade view tracks it
+
+
+class TestTcpTransport:
+    def test_blocked_sends_notify_the_sender(self):
+        notified = []
+
+        class Watchful(StateBased):
+            def note_send_blocked(self, dst):
+                notified.append((self.replica, dst))
+
+        cluster = Cluster(ClusterConfig(line(2)), Watchful, SetLattice(), "tcp")
+        try:
+            cluster.apply_update(0, lambda state: SetLattice({"a"}))
+            cluster.crash(1)
+            cluster.run_round(updates=None)
+            assert cluster.messages_blocked > 0
+            assert (0, 1) in notified
+        finally:
+            cluster.close()
+
+    def test_partition_blocks_and_heal_restores(self):
+        cluster = Cluster(ClusterConfig(full_mesh(4)), StateBased, SetLattice(), "tcp")
+        try:
+            cluster.partition([0, 1])
+            assert cluster.partitioned
+            assert not cluster.link_up(0, 2)
+            assert cluster.link_up(0, 1)
+            workload = GSetWorkload(4, rounds=2)
+            cluster.run_rounds(2, workload.updates_for)
+            assert not cluster.converged()
+            cluster.heal()
+            cluster.drain()
+            assert cluster.converged()
+        finally:
+            cluster.close()
+
+    def test_updates_on_down_nodes_are_skipped(self):
+        cluster = Cluster(ClusterConfig(line(2)), StateBased, SetLattice(), "tcp")
+        try:
+            cluster.crash(0)
+            cluster.run_round(lambda node: [lambda s: SetLattice({"x"})])
+            assert cluster.updates_skipped == 1
+        finally:
+            cluster.close()
+
+    def test_loss_rate_drops_frames(self):
+        config = ClusterConfig(line(2), loss_rate=0.5, loss_seed=3)
+        cluster = Cluster(config, StateBased, SetLattice(), "tcp")
+        try:
+            workload = GSetWorkload(2, rounds=6)
+            cluster.run_rounds(6, workload.updates_for)
+            assert cluster.messages_dropped > 0
+            assert cluster.messages_severed == 0
+        finally:
+            cluster.close()
+
+    def test_close_is_idempotent(self):
+        cluster = Cluster(ClusterConfig(line(2)), StateBased, SetLattice(), "tcp")
+        cluster.close()
+        cluster.close()
+
+    def test_queue_is_a_sim_only_surface(self):
+        transport = AsyncTcpTransport(ClusterConfig(line(2)), MetricsCollector(2))
+        assert not hasattr(transport, "queue")
+        transport.close()
