@@ -7,9 +7,14 @@ seeded, so a cell rerun must reproduce byte-exact measurements).
 
 ``test_kv_repair_divergence_beats_blanket`` is the recovery-path
 benchmark: one seeded fault schedule (16 replicas, partition with
-writes on both sides, heal, crash with disk loss) replayed under
-blanket full-state repair and under divergence-driven digest repair —
-equal per-shard convergence, strictly fewer repair payload bytes.
+writes on both sides, heal, crash with disk loss) replayed under the
+whole recovery ladder — blanket full-state repair, divergence-driven
+digest repair, and write-ahead-log replay with digest repair covering
+the remainder — at equal per-shard convergence.  WAL replay undercuts
+the digest baseline (the network repairs only downtime divergence);
+the verified ``wal+repair`` variant pays a duplicate-exchange premium
+over plain ``wal`` for probing from both sides, but never approaches
+blanket's full-state pushes.
 """
 
 import pytest
@@ -135,13 +140,27 @@ def test_kv_repair_divergence_beats_blanket(benchmark, report_sink):
 
     blanket = result.cell("blanket")
     digest = result.cell("digest")
-    # Equal convergence: both modes reconcile every replica group after
-    # the partition and the disk-losing crash.
-    assert blanket.converged and digest.converged
-    # The headline: divergence-driven repair ships strictly fewer repair
-    # payload bytes than blanket full-state pushes — and stays cheaper
-    # even with its digest metadata included.
+    wal = result.cell("wal")
+    verified = result.cell("wal+repair")
+    # Equal convergence: every strategy reconciles every replica group
+    # after the partition and the disk-losing crash.
+    for cell in (blanket, digest, wal, verified):
+        assert cell.converged
+    # The headline ladder: divergence-driven repair ships strictly fewer
+    # repair payload bytes than blanket full-state pushes — and stays
+    # cheaper even with its digest metadata included.
     assert digest.repair_payload_bytes < blanket.repair_payload_bytes
     assert digest.repair_bytes < blanket.repair_bytes
     # The probes actually drove the repair (the path is exercised).
     assert digest.probes > 0 and digest.repairs > 0
+    # WAL replay rebuilds the crashed replica from its own log, so the
+    # network repairs only the divergence accrued during the downtime:
+    # strictly below the digest-only baseline, which itself re-shipped
+    # the whole lost keyspace slice.
+    assert wal.repair_payload_bytes < digest.repair_payload_bytes
+    assert wal.wal_replayed_bytes > 0
+    # The verified variant pays a duplicate-exchange premium over plain
+    # wal (both sides of every δ-path probe after the rebuild), but it
+    # never re-ships full states the way blanket does.
+    assert verified.repair_payload_bytes < blanket.repair_payload_bytes
+    assert verified.probes > wal.probes

@@ -11,6 +11,7 @@ without writing a driver script::
     python -m repro kv --replicas 16 --keys 1000 --workload zipf
     python -m repro kv --workload retwis --zipf 1.5 --budget 4096
     python -m repro kv --repair 4 --repair-mode digest --faults
+    python -m repro kv --faults --recovery wal
     python -m repro kv --transport tcp --replicas 8 --keys 200
 
 Each run prints the same plain-text table the corresponding
@@ -31,6 +32,7 @@ from repro.experiments import (
     EXPERIMENTS,
     DEFAULT_ALGORITHMS as _KV_DEFAULT_ALGORITHMS,
     KVConfig,
+    RECOVERY_STRATEGIES as _RECOVERY_STRATEGIES,
     RetwisConfig,
     run_kv_repair_comparison,
     run_kv_sweep,
@@ -45,6 +47,7 @@ from repro.experiments import (
     run_table1,
     run_table2,
 )
+from repro.kv import RECOVERY_POLICIES as _RECOVERY_POLICIES
 
 #: Micro-benchmark presets per scale: node count and update rounds.
 _MICRO_SCALES = {
@@ -272,6 +275,19 @@ def build_parser() -> argparse.ArgumentParser:
         help="shards repaired/probed per tick",
     )
     kv.add_argument(
+        "--recovery",
+        choices=_RECOVERY_POLICIES,
+        default=None,
+        help=(
+            "lose-state recovery policy: rebuild purely over the network "
+            "(repair), replay the per-shard write-ahead log locally first "
+            "(wal), or replay plus immediate verification probes "
+            "(wal+repair).  With --faults this selects which strategy rows "
+            "the comparison table grows beyond the blanket/digest "
+            "baselines (default: all of them)"
+        ),
+    )
+    kv.add_argument(
         "--faults",
         action="store_true",
         help=(
@@ -346,11 +362,29 @@ def main(argv: Optional[List[str]] = None, stream=None) -> int:
             repair_mode=args.repair_mode,
             repair_fanout=args.repair_fanout,
             transport=args.transport,
+            # Outside --faults the flag directly sets the store's
+            # lose-state policy; the fault comparison instead derives
+            # per-row policies from the strategy labels below.
+            recovery=args.recovery if args.recovery is not None else "repair",
         )
         started = time.perf_counter()
         if args.faults:
+            # Each WAL strategy is compared against the rungs below it
+            # on the recovery ladder (so `--recovery wal` rides next to
+            # the blanket and digest baselines it must beat); no flag
+            # compares the whole ladder.
+            cutoff = (
+                _RECOVERY_POLICIES.index(args.recovery)
+                if args.recovery is not None
+                else len(_RECOVERY_POLICIES) - 1
+            )
+            strategies = tuple(
+                label
+                for label, (_, policy) in _RECOVERY_STRATEGIES.items()
+                if _RECOVERY_POLICIES.index(policy) <= cutoff
+            )
             inner = args.algorithms[0] if args.algorithms else "delta-based-bp-rr"
-            result = run_kv_repair_comparison(config, algorithm=inner)
+            result = run_kv_repair_comparison(config, algorithm=inner, modes=strategies)
         else:
             result = run_kv_sweep(config, algorithms)
         elapsed = time.perf_counter() - started

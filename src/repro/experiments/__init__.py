@@ -36,11 +36,13 @@ from repro.experiments.grid import ALL_ALGORITHMS, BASELINE, run_grid
 from repro.experiments.retwis_sweep import RetwisConfig, run_retwis_sweep
 from repro.experiments.kv_sweep import (
     DEFAULT_ALGORITHMS,
+    DEFAULT_STRATEGIES,
     KV_ALGORITHMS,
     KVCell,
     KVConfig,
     KVRepairComparison,
     KVSweepResult,
+    RECOVERY_STRATEGIES,
     run_kv_cell,
     run_kv_repair_cell,
     run_kv_repair_comparison,

@@ -15,13 +15,23 @@ bytes are a small fraction of state-based's on the identical schedule.
 
 :func:`run_kv_repair_comparison` is the recovery-path counterpart: one
 seeded fault schedule (partition with writes on both sides, heal, crash
-with disk loss, recover) replayed under blanket full-state repair and
-under divergence-driven digest repair, at equal per-shard convergence.
-Digest repair probes cold δ-paths with one Merkle root and ships only
-the inflating join decomposition on mismatch, so its repair payload
-bytes are a fraction of the blanket pushes the store previously relied
-on — the ConflictSync argument (Gomes et al., PAPERS.md) measured on
-this store.
+with disk loss, recover) replayed under each **recovery strategy** at
+equal per-shard convergence.  The strategy ladder
+(:data:`RECOVERY_STRATEGIES`):
+
+* ``blanket`` — full-state pushes on a timer (the redundant
+  transmission the paper exists to eliminate);
+* ``digest`` — divergence-driven repair: cold δ-paths are probed with
+  one Merkle root and only the inflating join decomposition ships on
+  mismatch — the ConflictSync argument (Gomes et al., PAPERS.md)
+  measured on this store;
+* ``wal`` — the rebuilt replica first replays its per-shard write-ahead
+  log (:mod:`repro.wal`) locally, so digest repair covers only the
+  divergence accrued *during* the downtime plus the log's torn tail;
+* ``wal+repair`` — replay as above, then every δ-path is marked suspect
+  and verified by immediate root probes (duplicate exchanges on
+  genuinely divergent paths buy certainty even if the peers' own
+  suspicion signals were lost).
 """
 
 from __future__ import annotations
@@ -30,11 +40,12 @@ from dataclasses import dataclass, field
 from typing import Dict, Mapping, Optional, Sequence, Tuple
 
 from repro.experiments.report import format_table, human_bytes
-from repro.kv.antientropy import REPAIR_MODES, AntiEntropyConfig
+from repro.kv.antientropy import AntiEntropyConfig
 from repro.kv.cluster import KVCluster
 from repro.kv.ring import HashRing
 from repro.sync import StateBased, keyed_bp_rr, keyed_classic
 from repro.sync.merkle import MerkleSync
+from repro.wal import WalConfig
 from repro.workloads.kv import KVRetwisWorkload, KVZipfWorkload
 
 #: Protocols compared at store scale.  Delta-based variants run the
@@ -52,6 +63,17 @@ DEFAULT_ALGORITHMS: Tuple[str, ...] = (
     "delta-based-bp-rr",
     "merkle",
 )
+
+#: Recovery strategies compared by the fault replay: row label →
+#: (scheduler repair mode, cluster lose-state recovery policy).
+RECOVERY_STRATEGIES: Dict[str, Tuple[str, str]] = {
+    "blanket": ("blanket", "repair"),
+    "digest": ("digest", "repair"),
+    "wal": ("digest", "wal"),
+    "wal+repair": ("digest", "wal+repair"),
+}
+
+DEFAULT_STRATEGIES: Tuple[str, ...] = tuple(RECOVERY_STRATEGIES)
 
 
 @dataclass(frozen=True)
@@ -77,6 +99,11 @@ class KVConfig:
     #: bytes); ``"tcp"`` runs the same replay over localhost asyncio
     #: TCP sockets (measured wire bytes of the envelope codec).
     transport: str = "sim"
+    #: Lose-state recovery policy (``repair`` | ``wal`` | ``wal+repair``).
+    #: The WAL policies give every store a durable per-shard delta log.
+    recovery: str = "repair"
+    #: Per-shard log compaction threshold (``None`` disables).
+    wal_compact_bytes: Optional[int] = 64 * 1024
 
     def ring(self) -> HashRing:
         return HashRing(
@@ -113,6 +140,9 @@ class KVConfig:
             batch=self.batch,
         )
 
+    def wal_config(self) -> WalConfig:
+        return WalConfig(compact_bytes=self.wal_compact_bytes)
+
 
 @dataclass(frozen=True)
 class KVCell:
@@ -132,6 +162,10 @@ class KVCell:
     repair_metadata_bytes: int = 0
     messages_dropped: int = 0
     messages_severed: int = 0
+    #: Write-ahead-log accounting (all zero under ``recovery="repair"``).
+    wal_committed_bytes: int = 0
+    wal_compactions: int = 0
+    wal_replayed_bytes: int = 0
 
     @property
     def total_bytes(self) -> int:
@@ -227,6 +261,8 @@ def run_kv_cell(config: KVConfig, algorithm: str, workload=None) -> KVCell:
         KV_ALGORITHMS[algorithm],
         antientropy=config.antientropy(),
         transport=config.transport,
+        recovery=config.recovery,
+        wal_config=config.wal_config() if config.recovery != "repair" else None,
     )
     try:
         cluster.run_rounds(workload.rounds, workload.updates_for)
@@ -238,6 +274,7 @@ def run_kv_cell(config: KVConfig, algorithm: str, workload=None) -> KVCell:
 
 def _measure_cell(cluster: KVCluster, algorithm: str, drain_rounds: int) -> KVCell:
     stats = cluster.scheduler_stats()
+    wal = cluster.wal_stats()
     return KVCell(
         algorithm=algorithm,
         converged=cluster.converged(),
@@ -253,12 +290,15 @@ def _measure_cell(cluster: KVCluster, algorithm: str, drain_rounds: int) -> KVCe
         repair_metadata_bytes=stats["repair_metadata_bytes"],
         messages_dropped=cluster.messages_dropped,
         messages_severed=cluster.messages_severed,
+        wal_committed_bytes=wal.get("wal_committed_bytes", 0),
+        wal_compactions=wal.get("wal_compactions", 0),
+        wal_replayed_bytes=wal.get("wal_replayed_bytes", 0),
     )
 
 
 @dataclass(frozen=True)
 class KVRepairComparison:
-    """Blanket vs divergence-driven repair on one seeded fault replay."""
+    """Recovery strategies compared on one seeded fault replay."""
 
     config: KVConfig
     algorithm: str
@@ -291,6 +331,7 @@ class KVRepairComparison:
                     human_bytes(cell.repair_payload_bytes),
                     human_bytes(cell.repair_metadata_bytes),
                     human_bytes(cell.repair_bytes),
+                    human_bytes(cell.wal_replayed_bytes),
                     human_bytes(cell.total_bytes),
                     cell.messages_severed,
                     cell.messages_dropped,
@@ -298,7 +339,7 @@ class KVRepairComparison:
             )
         return format_table(
             (
-                "repair mode",
+                "recovery",
                 "converged",
                 "drain",
                 "repairs",
@@ -306,6 +347,7 @@ class KVRepairComparison:
                 "repair payload",
                 "repair digests",
                 "repair total",
+                "wal replay",
                 "wire total",
                 "severed",
                 "dropped",
@@ -321,15 +363,23 @@ def run_kv_repair_cell(
     """One fault replay: partition with writes on both sides, heal,
     crash with disk loss, recover, drain to per-shard convergence.
 
-    The schedule is fully deterministic given ``config.seed``, so the
-    two repair modes see byte-identical update traffic and divergence;
-    only the recovery path differs.
+    ``mode`` names a :data:`RECOVERY_STRATEGIES` row.  The schedule is
+    fully deterministic given ``config.seed``, so every strategy sees
+    byte-identical update traffic and divergence; only the recovery
+    path differs.
     """
     if config.repair_interval < 1:
         raise ValueError(
             "the fault scenario depends on the recovery path: set "
             "repair_interval >= 1 (0 disables repair entirely)"
         )
+    try:
+        repair_mode, recovery = RECOVERY_STRATEGIES[mode]
+    except KeyError:
+        raise ValueError(
+            f"unknown recovery strategy {mode!r} "
+            f"(known: {', '.join(RECOVERY_STRATEGIES)})"
+        ) from None
     ring = config.ring()
     if workload is None:
         workload = config.make_workload(ring)
@@ -337,7 +387,7 @@ def run_kv_repair_cell(
         budget_bytes=config.budget_bytes,
         repair_interval=config.repair_interval,
         repair_fanout=config.repair_fanout,
-        repair_mode=mode,
+        repair_mode=repair_mode,
         batch=config.batch,
     )
     cluster = KVCluster(
@@ -345,6 +395,8 @@ def run_kv_repair_cell(
         KV_ALGORITHMS[algorithm],
         antientropy=antientropy,
         transport=config.transport,
+        recovery=recovery,
+        wal_config=config.wal_config() if recovery != "repair" else None,
     )
 
     try:
@@ -373,9 +425,9 @@ def run_kv_repair_cell(
 def run_kv_repair_comparison(
     config: KVConfig = KVConfig(repair_interval=4, repair_fanout=8),
     algorithm: str = "delta-based-bp-rr",
-    modes: Sequence[str] = REPAIR_MODES,
+    modes: Sequence[str] = DEFAULT_STRATEGIES,
 ) -> KVRepairComparison:
-    """Replay the identical fault schedule under each repair mode."""
+    """Replay the identical fault schedule under each recovery strategy."""
     if algorithm not in KV_ALGORITHMS:
         raise ValueError(
             f"unknown algorithm {algorithm!r} (known: {sorted(KV_ALGORITHMS)})"

@@ -20,11 +20,13 @@ reconciliation):
   protocol per shard;
 * :mod:`repro.kv.cluster` — the store on the simulated network with
   smart-client routing, per-shard convergence, and partition/crash
-  recovery.
+  recovery under a pluggable recovery policy (bottom restart + remote
+  repair, or local :mod:`repro.wal` replay with repair covering only
+  the remainder).
 """
 
 from repro.kv.antientropy import REPAIR_MODES, AntiEntropyConfig, AntiEntropyScheduler
-from repro.kv.cluster import KVCluster, Unavailable
+from repro.kv.cluster import RECOVERY_POLICIES, KVCluster, Unavailable
 from repro.kv.ring import HashRing, stable_hash
 from repro.kv.store import KVRoutingError, KVStore, KVUpdate, kv_store_factory
 from repro.kv.types import (
@@ -47,6 +49,7 @@ __all__ = [
     "KVStore",
     "KVTypeError",
     "KVUpdate",
+    "RECOVERY_POLICIES",
     "REPAIR_MODES",
     "Schema",
     "TYPE_REGISTRY",

@@ -136,6 +136,18 @@ class AntiEntropyScheduler:
             shard: tuple(shard_peers.get(shard, ())) if shard_peers else ()
             for shard in self.shard_ids
         }
+        #: Reverse index ``peer → shards shared with it``, precomputed
+        #: so suspicion marking and rebuild-time probe planning touch
+        #: only the peer's own δ-paths.  A partitioned replica takes one
+        #: refused send per peer per tick; without the index each
+        #: refusal re-scanned every owned shard.
+        reverse: Dict[int, List[int]] = {}
+        for shard in self.shard_ids:
+            for peer in self.shard_peers[shard]:
+                reverse.setdefault(peer, []).append(shard)
+        self._peer_shards: Dict[int, Tuple[int, ...]] = {
+            peer: tuple(shards) for peer, shards in reverse.items()
+        }
         self._cursor = 0
         self._repair_cursor = 0
         self.tick = 0
@@ -171,9 +183,26 @@ class AntiEntropyScheduler:
         self._suspect.discard((shard, peer))
 
     def note_peer_unreachable(self, peer: int) -> None:
-        """A send to ``peer`` was refused; suspect every shared δ-path."""
-        for shard, peers in self.shard_peers.items():
-            if peer in peers:
+        """A send to ``peer`` was refused; suspect every shared δ-path.
+
+        O(shards shared with the peer) via the precomputed reverse
+        index — this fires once per peer per tick for as long as a
+        partition lasts, so it must not rescan the whole shard map.
+        """
+        for shard in self._peer_shards.get(peer, ()):
+            self._suspect.add((shard, peer))
+
+    def suspect_all_paths(self) -> None:
+        """Mark every δ-path suspect (the ``wal+repair`` recovery policy).
+
+        A store rebuilt from its WAL can *believe* its replay but not
+        prove the peers agree; suspicion makes the next planning tick
+        root-probe every co-owner regardless of the pair tiebreak, so
+        any divergence the log could not cover (its torn tail, writes
+        absorbed elsewhere during the downtime) surfaces immediately.
+        """
+        for peer, shards in self._peer_shards.items():
+            for shard in shards:
                 self._suspect.add((shard, peer))
 
     def note_repair_traffic(

@@ -19,11 +19,26 @@ digest probes that ship only the missing join decomposition — this is
 the partition/recovery harness: sever a replica group, keep writing on
 both sides, heal, drain, and the group converges for any inner
 synchronization protocol.
+
+What a replica rebuilt by ``crash(lose_state=True)`` comes back holding
+is the cluster's **recovery policy** (:data:`RECOVERY_POLICIES`):
+
+* ``"repair"`` — no durability layer; the rebuilt replica restarts from
+  bottom and anti-entropy repair rebuilds everything over the network
+  (the pre-WAL behaviour, and the baseline the others are measured
+  against);
+* ``"wal"`` — every store writes a per-shard
+  :class:`~repro.wal.ReplicaWal` of its encoded deltas; the rebuilt
+  replica replays that log locally and repair covers only the
+  divergence accrued while it was down (plus the log's torn tail);
+* ``"wal+repair"`` — replay as above, then mark every δ-path suspect so
+  the recovered replica immediately root-probes its co-owners to
+  *verify* the replay instead of trusting it.
 """
 
 from __future__ import annotations
 
-from typing import Any, Hashable, List, Optional, Tuple, Union
+from typing import Any, Callable, Dict, Hashable, List, Optional, Tuple, Union
 
 from repro.net.transport import Transport
 
@@ -35,6 +50,10 @@ from repro.lattice.base import Lattice
 from repro.lattice.map_lattice import MapLattice
 from repro.sim.network import Cluster, ClusterConfig
 from repro.sim.topology import Topology, full_mesh
+from repro.wal import ReplicaWal, Storage, WalConfig
+
+#: Valid lose-state recovery policies (see the module docstring).
+RECOVERY_POLICIES = ("repair", "wal", "wal+repair")
 
 
 class Unavailable(RuntimeError):
@@ -57,6 +76,14 @@ class KVCluster(Cluster):
         config: Full simulation config; overrides ``topology``.
         transport: ``"sim"`` (default), ``"tcp"``, or a constructed
             :class:`~repro.net.transport.Transport`.
+        recovery: Lose-state recovery policy, one of
+            :data:`RECOVERY_POLICIES`; the WAL policies give every
+            store a durable per-shard delta log that survives rebuilds.
+        wal_storage: ``replica index → Storage`` factory for the WAL
+            backends (defaults to one in-memory store per replica, so
+            the simulator stays deterministic and fast; inject
+            :class:`~repro.wal.FileStorage` for real segment files).
+        wal_config: Log knobs (compaction threshold).
     """
 
     def __init__(
@@ -69,6 +96,9 @@ class KVCluster(Cluster):
         antientropy: Optional[AntiEntropyConfig] = None,
         config: Optional[ClusterConfig] = None,
         transport: Union[str, Transport] = "sim",
+        recovery: str = "repair",
+        wal_storage: Optional[Callable[[int], Storage]] = None,
+        wal_config: Optional[WalConfig] = None,
     ) -> None:
         if config is None:
             if topology is None:
@@ -79,15 +109,47 @@ class KVCluster(Cluster):
                 "the ring must place shards on the topology's node indices "
                 f"0..{config.topology.n - 1}, got {ring.replicas}"
             )
+        if recovery not in RECOVERY_POLICIES:
+            raise ValueError(
+                f"recovery must be one of {RECOVERY_POLICIES}, got {recovery!r}"
+            )
+        if recovery == "repair" and (wal_storage is not None or wal_config is not None):
+            # Silently accepting the storage would let a caller believe
+            # their writes are durable while no log is ever created.
+            raise ValueError(
+                "wal_storage/wal_config require a WAL recovery policy "
+                f"(recovery='wal' or 'wal+repair'), got recovery={recovery!r}"
+            )
         self.ring = ring
+        self.recovery = recovery
+        #: The durable log of each replica, keyed by index.  Created
+        #: lazily by the factory and *never* dropped on a rebuild —
+        #: the log surviving the crash is the whole point.
+        self._wals: Dict[int, ReplicaWal] = {}
+        self._wal_storage = wal_storage
+        self._wal_config = wal_config if wal_config is not None else WalConfig()
         factory = kv_store_factory(
-            ring, inner_factory, schema=schema, antientropy=antientropy
+            ring,
+            inner_factory,
+            schema=schema,
+            antientropy=antientropy,
+            wal_provider=self._wal_for if recovery != "repair" else None,
         )
         #: Scheduler counters of store incarnations lost to
         #: ``crash(lose_state=True)``, so cluster-wide accounting
         #: (repair bytes, probes) survives rebuilds.
         self._retired_scheduler_stats: dict = {}
         super().__init__(config, factory, MapLattice(), transport=transport)
+
+    def _wal_for(self, replica: int) -> ReplicaWal:
+        wal = self._wals.get(replica)
+        if wal is None:
+            storage = (
+                self._wal_storage(replica) if self._wal_storage is not None else None
+            )
+            wal = ReplicaWal(replica, storage=storage, config=self._wal_config)
+            self._wals[replica] = wal
+        return wal
 
     def crash(self, node: int, lose_state: bool = False) -> None:
         if not 0 <= node < self.topology.n:
@@ -100,6 +162,21 @@ class KVCluster(Cluster):
                     self._retired_scheduler_stats.get(key, 0) + value
                 )
         super().crash(node, lose_state)
+
+    def _restore_for(self, node: int):
+        """WAL recovery: replay the surviving log into the fresh store."""
+        wal = self._wals.get(node)
+        if wal is None:
+            return None
+        verify = self.recovery == "wal+repair"
+
+        def restore(store) -> None:
+            assert isinstance(store, KVStore)
+            # replay_wal enforces the group-commit crash boundary
+            # itself (staged-but-uncommitted records are discarded).
+            store.replay_wal(verify=verify)
+
+        return restore
 
     # ------------------------------------------------------------------
     # Smart-client request routing.
@@ -176,6 +253,19 @@ class KVCluster(Cluster):
         for node in self.nodes:
             assert isinstance(node, KVStore)
             for key, value in node.scheduler.stats().items():
+                totals[key] = totals.get(key, 0) + value
+        return totals
+
+    def wal_stats(self) -> dict:
+        """Cluster-wide sums of the per-replica WAL counters.
+
+        Empty under the ``"repair"`` policy (no logs exist).  The log
+        objects survive rebuilds, so — unlike the scheduler counters —
+        nothing needs retiring at crash time.
+        """
+        totals: dict = {}
+        for wal in self._wals.values():
+            for key, value in wal.stats().items():
                 totals[key] = totals.get(key, 0) + value
         return totals
 

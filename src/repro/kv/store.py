@@ -49,6 +49,14 @@ Wire framing adds one shard tag per bundled shard message; payload and
 metadata accounting of the inner protocols is preserved unchanged, so
 cross-algorithm byte comparisons measured through the store remain as
 meaningful as the paper's single-object ones.
+
+When constructed with a :class:`~repro.wal.ReplicaWal`, the store is
+also the WAL's write path: every delta that inflates a shard — a local
+typed write, the novelty absorbed from a peer's sync message, a repair
+absorption — is appended to that shard's log and group-committed once
+per tick, and :meth:`KVStore.replay_wal` is the recovery path that
+rebuilds a reset replica from its own disk before digest repair covers
+the post-crash remainder.
 """
 
 from __future__ import annotations
@@ -71,10 +79,41 @@ from repro.sync.digest import (
     root_of,
 )
 from repro.sync.protocol import Message, Send, Synchronizer
+from repro.wal import ReplicaWal
 
 
 class KVRoutingError(LookupError):
     """The key is not owned by this replica (ask the ring for owners)."""
+
+
+def _keyspace_novelty(before: MapLattice, after: MapLattice) -> MapLattice:
+    """The optimal delta ``∆(after, before)`` of one shard keyspace.
+
+    ``MapLattice.join`` copies its entry dict but *reuses* the value
+    objects of untouched keys, so a post-delivery state shares those
+    objects with the pre-delivery one.  Exploiting that, the scan costs
+    one identity check per key plus per-value ``∆`` work only where the
+    message actually landed — instead of decomposing the whole shard
+    state per delivered message, which would put O(shard) work on the
+    hot path of every WAL-enabled run.
+    """
+    if after is before:
+        return after.bottom_like()
+    previous = before.entries
+    changed: Dict = {}
+    for key, value in after.entries.items():
+        mine = previous.get(key)
+        if mine is value:
+            continue
+        if mine is None:
+            changed[key] = value
+            continue
+        delta = value.delta(mine)
+        if not delta.is_bottom:
+            changed[key] = delta
+    if not changed:
+        return after.bottom_like()
+    return MapLattice(changed)
 
 
 @dataclass(frozen=True)
@@ -108,6 +147,7 @@ class KVStore(Synchronizer):
         inner_factory,
         schema: Optional[Schema] = None,
         antientropy: Optional[AntiEntropyConfig] = None,
+        wal: Optional[ReplicaWal] = None,
     ) -> None:
         if not isinstance(bottom, MapLattice) or not bottom.is_bottom:
             raise TypeError("a KVStore keyspace starts from an empty MapLattice")
@@ -120,6 +160,12 @@ class KVStore(Synchronizer):
         self.size_model = size_model
 
         self.ring = ring
+        #: The durable per-shard delta log, shared across incarnations
+        #: of this replica (``None`` disables write-ahead logging).
+        self.wal = wal
+        #: δ-paths restored by :meth:`replay_wal`, consumed by
+        #: :meth:`restore_clock` once the cluster round is known.
+        self._replayed_paths: Tuple[Tuple[int, int], ...] = ()
         self.schema = schema if schema is not None else Schema()
         config = antientropy if antientropy is not None else AntiEntropyConfig()
         owned = ring.shards_owned_by(replica)
@@ -163,7 +209,7 @@ class KVStore(Synchronizer):
 
     def remove(self, key: Hashable) -> Lattice:
         """Remove ``key``'s observed content (observed-remove types only)."""
-        shard_sync = self._shard_for(key)
+        shard, shard_sync = self._route(key)
         spec = self.schema.spec_for(key)
 
         def mutator(keyspace: MapLattice) -> MapLattice:
@@ -175,7 +221,9 @@ class KVStore(Synchronizer):
                 return keyspace.bottom_like()
             return MapLattice({key: delta})
 
-        return shard_sync.local_update(mutator)
+        delta = shard_sync.local_update(mutator)
+        self._wal_append(shard, delta)
+        return delta
 
     def get(self, key: Hashable) -> Any:
         """The typed query-side value of ``key`` at this replica."""
@@ -192,7 +240,8 @@ class KVStore(Synchronizer):
         for shard in sorted(self.shards):
             yield from self.shards[shard].state.keys()
 
-    def _shard_for(self, key: Hashable) -> Synchronizer:
+    def _route(self, key: Hashable) -> Tuple[int, Synchronizer]:
+        """Resolve a key to its shard id and synchronizer in one hash."""
         shard = self.ring.shard_of(key)
         sync = self.shards.get(shard)
         if sync is None:
@@ -200,7 +249,10 @@ class KVStore(Synchronizer):
                 f"replica {self.replica} does not own key {key!r} "
                 f"(shard {shard}, owners {self.ring.shard_owners(shard)})"
             )
-        return sync
+        return shard, sync
+
+    def _shard_for(self, key: Hashable) -> Synchronizer:
+        return self._route(key)[1]
 
     # ------------------------------------------------------------------
     # Synchronizer protocol: the store on the simulated cluster.
@@ -222,7 +274,7 @@ class KVStore(Synchronizer):
                 "use store.update(key, op, *args)"
             )
         op = delta_mutator
-        shard_sync = self._shard_for(op.key)
+        shard, shard_sync = self._route(op.key)
         spec = self.schema.spec_for(op.key)
         replica = self.replica
 
@@ -232,9 +284,18 @@ class KVStore(Synchronizer):
                 return keyspace.bottom_like()
             return MapLattice({op.key: delta})
 
-        return shard_sync.local_update(mutator)
+        delta = shard_sync.local_update(mutator)
+        self._wal_append(shard, delta)
+        return delta
 
     def sync_messages(self) -> List[Send]:
+        if self.wal is not None:
+            # Group commit: every delta staged since the previous tick —
+            # local writes, absorbed sync novelty, repair absorptions —
+            # becomes durable in one batch per shard log.  A crash
+            # between ticks loses only the records staged after this
+            # point, which is the WAL's documented durability boundary.
+            self.wal.commit()
         planned, blanket_due, probes_due = self.scheduler.plan(self.shards)
         wire: List[Tuple[int, int, Message]] = []
         for shard, send in planned:
@@ -291,10 +352,18 @@ class KVStore(Synchronizer):
                 continue
             if inner_message.payload_bytes:
                 self.scheduler.note_delta_activity(shard, src)
+            before = inner.state if self.wal is not None else None
             for reply in inner.handle_message(src, inner_message):
                 if reply.message.payload_bytes:
                     self.scheduler.note_delta_activity(shard, reply.dst)
                 wire.append((reply.dst, shard, reply.message))
+            if before is not None:
+                # What this message actually taught the shard, as an
+                # optimal delta against the pre-delivery state.  Logging
+                # the inflation (instead of the raw payload) keeps the
+                # WAL redundancy-free regardless of the inner protocol's
+                # own redundancy behaviour.
+                self._wal_append(shard, _keyspace_novelty(before, inner.state))
         return self._package(wire)
 
     # ------------------------------------------------------------------
@@ -334,6 +403,7 @@ class KVStore(Synchronizer):
             absorbed = inner.absorb_state(delta, src)
             if not absorbed.is_bottom:
                 self.scheduler.note_delta_activity(shard, src)
+                self._wal_append(shard, absorbed)
             if echo is None:
                 return None
             back = delta_against_digest(inner.state, echo)
@@ -394,8 +464,71 @@ class KVStore(Synchronizer):
         self.scheduler.note_peer_unreachable(dst)
 
     def restore_clock(self, ticks: int) -> None:
-        """Carry the cluster round into a rebuilt store's scheduler."""
+        """Carry the cluster round into a rebuilt store's scheduler.
+
+        δ-paths restored by a WAL replay are marked active *here* —
+        after the tick counter has jumped to the cluster round — so the
+        replay counts as fresh activity instead of being instantly
+        re-frozen by the clock realignment.
+        """
         self.scheduler.restore_clock(ticks)
+        replayed, self._replayed_paths = self._replayed_paths, ()
+        for shard, peer in replayed:
+            self.scheduler.note_delta_activity(shard, peer)
+
+    # ------------------------------------------------------------------
+    # Write-ahead logging and local recovery.
+    # ------------------------------------------------------------------
+
+    def _wal_append(self, shard: int, delta: Lattice) -> None:
+        if self.wal is not None and not delta.is_bottom:
+            self.wal.append(shard, delta)
+
+    def replay_wal(self, *, verify: bool = False) -> int:
+        """Rebuild shard states from the durable log; return shards restored.
+
+        The recovery path of ``crash(lose_state=True)`` under a WAL
+        recovery policy: each owned shard's log replays to the join of
+        every delta the previous incarnations committed, and the result
+        flows through :meth:`~repro.sync.protocol.Synchronizer.
+        absorb_state` so the fresh synchronizer's bookkeeping (version
+        vectors, Scuttlebutt stores) covers the restored content.  The
+        propagation buffers the absorb hook fills are drained and
+        discarded — replayed content is *restoration*, not news: every
+        surviving co-owner already held it before the crash, and digest
+        repair covers the genuinely divergent remainder.
+
+        With ``verify`` (the ``wal+repair`` policy) every δ-path is
+        additionally marked suspect, so the rebuilt replica immediately
+        root-probes its co-owners instead of trusting the replay —
+        one ``ROOT_BYTES`` probe per path buys certainty even when the
+        peers' own suspicion signals were lost (e.g. they also crashed).
+        Otherwise the replayed δ-paths are marked active once
+        :meth:`restore_clock` realigns the scheduler.
+        """
+        if self.wal is None:
+            return 0
+        # The crash boundary of group commit, enforced by the recovery
+        # path itself: records staged by the dead incarnation but never
+        # committed are gone — replaying without dropping them would
+        # retroactively make them durable at the next tick's commit.
+        self.wal.discard_staged()
+        restored = 0
+        warm: List[Tuple[int, int]] = []
+        for shard in sorted(self.shards):
+            state = self.wal.replay(shard)
+            if state is None or state.is_bottom:
+                continue
+            inner = self.shards[shard]
+            inner.absorb_state(state, None)
+            inner.sync_messages()  # drain, never sent: see docstring
+            restored += 1
+            warm.extend((shard, peer) for peer in inner.neighbors)
+        if verify:
+            self.scheduler.suspect_all_paths()
+        else:
+            self._replayed_paths = tuple(warm)
+        return restored
 
     def _package(self, wire: List[Tuple[int, int, Message]]) -> List[Send]:
         """Frame shard messages for the wire, batching per destination.
@@ -478,12 +611,18 @@ def kv_store_factory(
     *,
     schema: Optional[Schema] = None,
     antientropy: Optional[AntiEntropyConfig] = None,
+    wal_provider=None,
 ):
     """Bind store parameters into a cluster-compatible node factory.
 
     The returned callable has the :data:`~repro.sync.protocol.
     SynchronizerFactory` signature, so ``Cluster(config, factory,
     MapLattice())`` builds one store process per simulated node.
+
+    ``wal_provider`` maps a replica index to its durable
+    :class:`~repro.wal.ReplicaWal`; it is a callable (not a dict) so
+    a store rebuilt after ``crash(lose_state=True)`` reattaches to the
+    *same* log object its predecessor wrote.
     """
 
     def factory(
@@ -503,6 +642,7 @@ def kv_store_factory(
             inner_factory=inner_factory,
             schema=schema,
             antientropy=antientropy,
+            wal=wal_provider(replica) if wal_provider is not None else None,
         )
 
     inner_name = getattr(inner_factory, "name", getattr(inner_factory, "__name__", "?"))

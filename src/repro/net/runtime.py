@@ -105,13 +105,23 @@ class ReplicaRuntime:
         if hook is not None:
             hook(ticks)
 
-    def replace(self, synchronizer: Synchronizer) -> None:
-        """Swap in a fresh protocol instance (crash with state loss)."""
+    def replace(self, synchronizer: Synchronizer, restore=None) -> None:
+        """Swap in a fresh protocol instance (crash with state loss).
+
+        ``restore`` is the recovery policy's hook: a callable applied to
+        the fresh synchronizer before it goes live — e.g. replaying a
+        write-ahead log into it — so a rebuilt replica can come back
+        holding its durable state instead of bottom.  Anything the
+        restore step cannot cover is left to the protocol-level repair
+        machinery, exactly as for a restore-less rebuild.
+        """
         if synchronizer.replica != self.replica:
             raise ValueError(
                 f"replacement replica {synchronizer.replica} does not match "
                 f"runtime replica {self.replica}"
             )
+        if restore is not None:
+            restore(synchronizer)
         self.synchronizer = synchronizer
 
     # ------------------------------------------------------------------

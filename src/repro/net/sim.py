@@ -5,11 +5,12 @@ Cluster``, carved out behind the :class:`~repro.net.transport.
 Transport` interface with its event ordering preserved exactly: node
 timers are staggered by a microscopic offset so "simultaneous" ticks
 have a stable order, message delivery preserves per-link FIFO, and the
-loss coin flips draw from the same seeded stream in the same order.
-Every experiment that ran on the pre-seam simulator produces
-byte-identical metrics on this transport — that equivalence is what
-licenses comparing TCP-measured wire bytes against the simulator's
-size-model accounting.
+loss coin flips draw from seeded per-edge streams (a pure function of
+the traffic, shared with the TCP transport so both drop the same
+frames).  Every loss-free experiment that ran on the pre-seam
+simulator produces byte-identical metrics on this transport — that
+equivalence is what licenses comparing TCP-measured wire bytes against
+the simulator's size-model accounting.
 
 Within a round (one synchronization interval, one second in the
 paper): workload updates land at the round base, every live node's

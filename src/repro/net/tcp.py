@@ -30,12 +30,11 @@ rounds and every round settles to quiescence, no frame can be caught
 in flight by a fault here — ``messages_severed`` stays 0 on TCP (its
 delivery-side check is defensive), unlike the simulator, where
 latency can carry a reply across a fault boundary.  ``loss_rate``
-eats transmitted frames at the sender through the same seeded
-coin-flip *mechanism* as the simulator.
-Note the stream is seeded identically but flip *assignment* is not
-replay-identical: protocol replies are sent from socket-readiness
-callbacks whose order the event loop chooses, so under loss the two
-transports (and repeated TCP runs) may drop different messages.
+eats transmitted frames at the sender through the shared per-edge
+coin flips: the k-th flip on an edge is a pure function of
+``(loss_seed, src, dst, k)``, so the loss schedule depends only on
+the traffic — repeated TCP runs, and the simulator against TCP, drop
+the same frames even though the event loop chooses callback order.
 
 Wire format per connection::
 
@@ -90,6 +89,8 @@ class AsyncTcpTransport(Transport):
         self._failure: Optional[BaseException] = None
         self._started = False
         self._closed = False
+        #: Shutdown scheduled by a re-entrant close() (loop running).
+        self._deferred_shutdown: Optional[asyncio.Task] = None
         self._epoch = time.monotonic()
         self._settle_timeout_s = settle_timeout_s
 
@@ -262,10 +263,36 @@ class AsyncTcpTransport(Transport):
     def close(self) -> None:
         if self._closed:
             return
+        if self._started and not self._loop.is_closed() and self._loop.is_running():
+            # close() re-entered from inside the running loop — e.g.
+            # cleanup after TransportStalled escaped _settle, or __del__
+            # firing from a callback.  run_until_complete would raise
+            # RuntimeError here, so cancel the readers, schedule the
+            # socket shutdown on the live loop, and leave the final
+            # teardown (and the loop itself) to a later close() call
+            # made from outside the loop.
+            for task in self._reader_tasks:
+                task.cancel()
+            if self._deferred_shutdown is None:
+                self._deferred_shutdown = self._loop.create_task(self._shutdown())
+            return
         self._closed = True
-        if self._started and not self._loop.is_closed():
-            self._loop.run_until_complete(self._shutdown())
-        self._loop.close()
+        try:
+            if self._started and not self._loop.is_closed():
+                deferred = self._deferred_shutdown
+                if deferred is None:
+                    self._loop.run_until_complete(self._shutdown())
+                elif not deferred.done():
+                    self._loop.run_until_complete(deferred)
+                elif deferred.cancelled() or deferred.exception() is not None:
+                    # The scheduled teardown died mid-flight; retrieving
+                    # the exception (so asyncio does not log it as lost)
+                    # and running a fresh shutdown closes what it missed.
+                    self._loop.run_until_complete(self._shutdown())
+        finally:
+            # Even a teardown that raised must not leak the loop:
+            # _closed is already True, so no later call would retry.
+            self._loop.close()
 
     async def _shutdown(self) -> None:
         # Close the client sides first: readers then end on EOF and

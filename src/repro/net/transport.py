@@ -90,9 +90,13 @@ class Transport(ABC):
         self.down: set = set()
         #: Active partition as disjoint node groups (``None`` = healthy).
         self._groups: Optional[Tuple[FrozenSet[int], ...]] = None
-        #: Seeded stream for the loss coin flips (shared mechanism, so
-        #: transports cannot drift apart in their loss accounting).
-        self._loss_rng = random.Random(config.loss_seed)
+        #: Per-edge loss streams, created lazily by :meth:`_edge_rng`.
+        #: The k-th flip on edge ``(src, dst)`` is a pure function of
+        #: ``(loss_seed, src, dst, k)`` — never of the order the
+        #: transport happens to *interleave* edges — so the loss
+        #: schedule is a function of the traffic itself: repeated runs,
+        #: and the simulator vs the TCP transport, drop the same frames.
+        self._edge_rngs: dict = {}
 
     # ------------------------------------------------------------------
     # Wiring.
@@ -255,11 +259,31 @@ class Transport(ABC):
         )
         if (
             self.config.loss_rate > 0.0
-            and self._loss_rng.random() < self.config.loss_rate
+            and self._edge_rng(src, send.dst).random() < self.config.loss_rate
         ):
             self.messages_dropped += 1
             return False
         return True
+
+    def _edge_rng(self, src: int, dst: int) -> random.Random:
+        """The edge's private loss stream, seeded from (seed, src, dst).
+
+        A single shared stream would assign flips in *consumption*
+        order — on the TCP transport that is event-loop callback order,
+        which made repeated runs (and sim-vs-TCP comparisons) drop
+        different frames.  One stream per directed edge removes the
+        ordering dependency entirely; the stride just folds the three
+        seed components into one integer without collisions for any
+        plausible node count.
+        """
+        rng = self._edge_rngs.get((src, dst))
+        if rng is None:
+            stride = 1_000_003
+            rng = random.Random(
+                (self.config.loss_seed * stride + src) * stride + dst
+            )
+            self._edge_rngs[(src, dst)] = rng
+        return rng
 
     def sample_memory(self, at: float) -> None:
         """Record one resident-footprint sample per live replica."""

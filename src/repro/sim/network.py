@@ -303,13 +303,29 @@ class Cluster:
     def crash(self, node: int, lose_state: bool = False) -> None:
         """Take ``node`` down: it stops ticking, sending, and receiving.
 
-        With ``lose_state`` the replica also loses its durable state and
-        comes back as a fresh bottom replica (disk loss); otherwise it
-        resumes from the state it crashed with (process restart).
+        With ``lose_state`` the replica loses its in-memory state and is
+        rebuilt fresh; what the rebuilt replica comes back *holding* is
+        the recovery policy's call (:meth:`_restore_for`) — the base
+        cluster has no durable layer, so it restarts from bottom and
+        leans entirely on protocol-level repair.  Without ``lose_state``
+        it resumes from the state it crashed with (process restart).
         """
         self.transport.crash(node)
         if lose_state:
-            self.runtimes[node].replace(self._build_synchronizer(node))
+            self.runtimes[node].replace(
+                self._build_synchronizer(node), restore=self._restore_for(node)
+            )
+
+    def _restore_for(self, node: int):
+        """The recovery policy of a lose-state rebuild.
+
+        Returns a callable applied to the freshly built synchronizer
+        before it goes live, or ``None`` for a bottom restart.
+        Subclasses with a durability layer override this —
+        :class:`~repro.kv.cluster.KVCluster` replays the replica's
+        per-shard write-ahead log here.
+        """
+        return None
 
     def recover(self, node: int) -> None:
         """Bring a crashed node back into the cluster.

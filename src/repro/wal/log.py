@@ -1,0 +1,369 @@
+"""The per-shard append-only log and its per-replica manager.
+
+Record format — one record per appended delta, self-delimiting and
+individually checksummed so a torn tail is detected instead of decoded
+as garbage::
+
+    record := uvarint(len(body)) body u32be(crc32(body))
+    body   := repro.codec.encode(delta)        # canonical lattice bytes
+
+Three operations define the log's semantics:
+
+* **stage/commit** — appends are *staged* in memory and persisted as
+  one batch per :meth:`ShardLog.commit` call (the store commits once
+  per synchronization tick).  That is group commit: one storage append
+  per shard per tick, however many deltas the tick produced.  A crash
+  loses whatever was staged and not yet committed — which is the honest
+  durability contract of any group-committing WAL, and exactly what the
+  recovery experiments measure (the lost tail is the divergence digest
+  repair must still cover).
+* **replay** — decode every valid record and join them.  Join order is
+  irrelevant (associativity/commutativity/idempotence of the lattice
+  join), which is what makes a *log* a sufficient representation of a
+  *state*: ``replay(log) == ⊔ deltas``.  A record whose length prefix,
+  checksum, or body fails to parse ends the valid prefix; the corrupt
+  tail is counted, truncated away, and replay returns the join of the
+  clean prefix.
+* **compact** — replace every record with the single record encoding
+  their join.  No log-structured-merge machinery: because the join *is*
+  the aggregation, ``replay(compact(log)) == replay(log)`` holds by
+  construction, and compaction is crash-safe because the storage's
+  atomic ``replace`` never shows a torn state.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from dataclasses import dataclass
+from io import BytesIO
+from typing import Dict, List, Optional, Tuple
+
+from repro.codec import CodecError, decode, encode, read_uvarint, write_uvarint
+from repro.lattice.base import Lattice
+from repro.wal.storage import MemoryStorage, Storage
+
+#: Bytes of the per-record checksum trailer.
+CRC_BYTES = 4
+
+
+def pack_record(body: bytes) -> bytes:
+    """Frame one encoded delta as a self-delimiting, checksummed record."""
+    out = BytesIO()
+    write_uvarint(out, len(body))
+    out.write(body)
+    out.write(struct.pack(">I", zlib.crc32(body)))
+    return out.getvalue()
+
+
+def _parse_records(data: bytes) -> Tuple[List[Tuple[bytes, int]], int, bool]:
+    """``([(body, end_offset), ...], clean_length, corrupt)`` of an image."""
+    records: List[Tuple[bytes, int]] = []
+    stream = BytesIO(data)
+    clean = 0
+    while True:
+        if stream.tell() == len(data):
+            return records, clean, False
+        try:
+            length = read_uvarint(stream)
+        except CodecError:
+            return records, clean, True
+        body = stream.read(length)
+        trailer = stream.read(CRC_BYTES)
+        if len(body) != length or len(trailer) != CRC_BYTES:
+            return records, clean, True
+        if struct.unpack(">I", trailer)[0] != zlib.crc32(body):
+            return records, clean, True
+        clean = stream.tell()
+        records.append((body, clean))
+
+
+def unpack_records(data: bytes) -> Tuple[List[bytes], int, bool]:
+    """Parse the valid record prefix of a log image.
+
+    Returns ``(bodies, clean_length, corrupt)``: the record bodies of
+    the longest valid prefix, how many bytes of ``data`` that prefix
+    spans, and whether anything (a torn append, a flipped bit) follows
+    it.  Parsing never raises — a log is read during crash recovery,
+    where the torn tail is the expected case, not the exceptional one.
+    """
+    records, clean, corrupt = _parse_records(data)
+    return [body for body, _ in records], clean, corrupt
+
+
+@dataclass(frozen=True)
+class WalConfig:
+    """Durability knobs shared by every shard log of a replica.
+
+    Attributes:
+        compact_bytes: Once a shard log's committed size exceeds this,
+            the next commit folds it into the single record of its
+            join (``None`` disables automatic compaction; explicit
+            :meth:`ShardLog.compact` still works).
+    """
+
+    compact_bytes: Optional[int] = 64 * 1024
+
+    def __post_init__(self) -> None:
+        if self.compact_bytes is not None and self.compact_bytes < 1:
+            raise ValueError("compact_bytes must be positive (or None)")
+
+
+class ShardLog:
+    """Append-only log of encoded deltas for one shard of one replica."""
+
+    def __init__(
+        self, storage: Storage, name: str, config: WalConfig = WalConfig()
+    ) -> None:
+        self.storage = storage
+        self.name = name
+        self.config = config
+        #: Encoded deltas staged since the last group commit.
+        self._staged: List[bytes] = []
+        #: Committed log size in bytes (lazily synced from storage, so
+        #: a log reopened over existing content sizes itself correctly).
+        self._size: Optional[int] = None
+        #: Pre-existing content has been checked against replay's
+        #: validity boundary (framing, CRC, decodability).  Set by the
+        #: first replay or commit; appending *before* truncating an
+        #: inherited bad tail would strand the new records behind junk
+        #: the next replay cannot cross.
+        self._tail_validated = False
+        #: Byte size of the last single-record image the join produced
+        #: (successful compaction or a failed attempt).  The commit
+        #: trigger waits until the log doubles past it: once the joined
+        #: state itself outgrows the threshold, re-deriving the image —
+        #: a full decode-join-encode — every commit would buy nothing.
+        self._compact_floor = 0
+        # Counters surfaced through ReplicaWal.stats().
+        self.records_committed = 0
+        self.commits = 0
+        self.committed_bytes = 0
+        self.compactions = 0
+        self.corrupt_tails_dropped = 0
+        self.records_discarded = 0
+
+    # ------------------------------------------------------------------
+    # The write path: stage, group-commit, compact.
+    # ------------------------------------------------------------------
+
+    def stage(self, encoded: bytes) -> None:
+        """Buffer one encoded delta for the next group commit."""
+        self._staged.append(encoded)
+
+    def discard_staged(self) -> int:
+        """Drop staged-but-uncommitted records (what a crash loses)."""
+        dropped = len(self._staged)
+        self.records_discarded += dropped
+        self._staged.clear()
+        return dropped
+
+    @property
+    def staged_records(self) -> int:
+        return len(self._staged)
+
+    def size_bytes(self) -> int:
+        """Committed log size in bytes."""
+        if self._size is None:
+            self._size = len(self.storage.read(self.name))
+        return self._size
+
+    def commit(self) -> int:
+        """Persist the staged batch as one append; maybe compact.
+
+        Returns the number of bytes written for the batch.
+        """
+        if not self._staged:
+            return 0
+        if not self._tail_validated:
+            # Reopening over an image a previous process tore: truncate
+            # the junk *before* appending, or the new records would sit
+            # unreachable behind it.
+            self._validate_tail()
+        batch = b"".join(pack_record(body) for body in self._staged)
+        self.storage.append(self.name, batch)
+        self.records_committed += len(self._staged)
+        self.commits += 1
+        self.committed_bytes += len(batch)
+        # _validate_tail (via replay) always ran first, so _size is set.
+        self._size += len(batch)
+        self._staged.clear()
+        threshold = self.config.compact_bytes
+        if threshold is not None and self._size > max(
+            threshold, 2 * self._compact_floor
+        ):
+            self.compact()
+        return len(batch)
+
+    def _validate_tail(self) -> None:
+        """Truncate an inherited torn/corrupt tail before first append.
+
+        Delegates to :meth:`replay`, whose truncation boundary is the
+        authoritative one — it requires records to *decode*, not merely
+        frame and checksum, so a record replay would reject can never
+        end up in front of freshly committed ones.
+        """
+        self.replay()
+
+    def compact(self) -> bool:
+        """Fold every record into the single record of their join.
+
+        Compaction *is* the lattice join: the replacement record decodes
+        to exactly the state the full log replays to, so recovery after
+        compaction is indistinguishable from recovery before it.  The
+        swap goes through the storage's atomic ``replace``, so a crash
+        mid-compaction leaves the original records intact.
+
+        Returns ``True`` when the log was rewritten.
+        """
+        state = self.replay()
+        if state is None:
+            return False
+        record = pack_record(encode(state))
+        current = self.size_bytes()
+        self._compact_floor = len(record)
+        if current <= len(record):
+            # Nothing to fold away: the floor above keeps routine
+            # commits from re-deriving this result until the log has
+            # doubled past the joined image.
+            return False
+        self.storage.replace(self.name, record)
+        self._size = len(record)
+        self.compactions += 1
+        return True
+
+    # ------------------------------------------------------------------
+    # The read path: recovery replay.
+    # ------------------------------------------------------------------
+
+    def replay(self) -> Optional[Lattice]:
+        """The join of every committed delta (``None`` for an empty log).
+
+        A corrupt or truncated tail — a group commit torn by the crash
+        this log exists to survive — is detected by the record checksums,
+        truncated away (so later appends never chain onto junk), and the
+        clean prefix is replayed.  A record that passes its CRC but no
+        longer *decodes* (a writer bug, codec drift across reopens) ends
+        the valid prefix the same way instead of aborting recovery.
+        """
+        data = self.storage.read(self.name)
+        records, clean, corrupt = _parse_records(data)
+        state: Optional[Lattice] = None
+        decoded_end = 0
+        for body, end in records:
+            try:
+                delta = decode(body)
+            except CodecError:
+                corrupt, clean = True, decoded_end
+                break
+            state = delta if state is None else state.join(delta)
+            decoded_end = end
+        if corrupt:
+            self.storage.replace(self.name, data[:clean])
+            self._size = clean
+            self.corrupt_tails_dropped += 1
+        else:
+            self._size = clean
+        self._tail_validated = True
+        return state
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardLog(name={self.name!r}, committed={self.records_committed}, "
+            f"staged={len(self._staged)})"
+        )
+
+
+class ReplicaWal:
+    """One replica's write-ahead log: one :class:`ShardLog` per shard.
+
+    The object deliberately outlives the store incarnation writing to
+    it — the cluster keeps it per replica index, hands it to every
+    rebuilt :class:`~repro.kv.store.KVStore`, and recovery replays it
+    into the fresh shard synchronizers.  ``crash(lose_state=True)``
+    therefore models losing memory and process state while the log
+    device survives, which is the failure the paper's join-decomposition
+    argument makes cheap to recover from.
+    """
+
+    def __init__(
+        self,
+        replica: int,
+        storage: Optional[Storage] = None,
+        config: WalConfig = WalConfig(),
+    ) -> None:
+        self.replica = replica
+        self.storage = storage if storage is not None else MemoryStorage()
+        self.config = config
+        self._logs: Dict[int, ShardLog] = {}
+        #: Committed log bytes consumed by recovery replays.
+        self.replayed_bytes = 0
+        #: Shards restored by recovery replays.
+        self.replays = 0
+
+    def log(self, shard: int) -> ShardLog:
+        """The shard's log (one file/blob per shard, created lazily)."""
+        entry = self._logs.get(shard)
+        if entry is None:
+            name = f"r{self.replica:03d}-s{shard:05d}.wal"
+            entry = ShardLog(self.storage, name, self.config)
+            self._logs[shard] = entry
+        return entry
+
+    # ------------------------------------------------------------------
+    # Write path.
+    # ------------------------------------------------------------------
+
+    def append(self, shard: int, delta: Lattice) -> None:
+        """Stage one delta for the shard's next group commit."""
+        self.log(shard).stage(encode(delta))
+
+    def commit(self) -> int:
+        """Group-commit every shard's staged batch; returns bytes written."""
+        return sum(log.commit() for log in self._logs.values())
+
+    def discard_staged(self) -> int:
+        """Drop all staged records — the crash boundary of group commit."""
+        return sum(log.discard_staged() for log in self._logs.values())
+
+    # ------------------------------------------------------------------
+    # Recovery.
+    # ------------------------------------------------------------------
+
+    def replay(self, shard: int) -> Optional[Lattice]:
+        """Replay one shard's log; accounts the bytes read for reports."""
+        log = self.log(shard)
+        state = log.replay()
+        if state is not None:
+            self.replayed_bytes += log.size_bytes()
+            self.replays += 1
+        return state
+
+    def compact(self, shard: int) -> bool:
+        return self.log(shard).compact()
+
+    def stats(self) -> Dict[str, int]:
+        """Counters for the experiment reports, summed over shard logs."""
+        totals = {
+            "wal_records": 0,
+            "wal_commits": 0,
+            "wal_committed_bytes": 0,
+            "wal_size_bytes": 0,
+            "wal_compactions": 0,
+            "wal_corrupt_tails": 0,
+            "wal_discarded_records": 0,
+            "wal_replayed_bytes": self.replayed_bytes,
+            "wal_replays": self.replays,
+        }
+        for log in self._logs.values():
+            totals["wal_records"] += log.records_committed
+            totals["wal_commits"] += log.commits
+            totals["wal_committed_bytes"] += log.committed_bytes
+            totals["wal_size_bytes"] += log.size_bytes()
+            totals["wal_compactions"] += log.compactions
+            totals["wal_corrupt_tails"] += log.corrupt_tails_dropped
+            totals["wal_discarded_records"] += log.records_discarded
+        return totals
+
+    def __repr__(self) -> str:
+        return f"ReplicaWal(replica={self.replica}, shards={sorted(self._logs)})"

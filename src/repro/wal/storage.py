@@ -1,0 +1,154 @@
+"""Durability backends for the write-ahead log.
+
+The log layer (:mod:`repro.wal.log`) is written against this small
+append/replace interface rather than the filesystem, for two reasons:
+
+* the deterministic simulator must stay deterministic and fast —
+  :class:`MemoryStorage` gives every replica a private "disk" that is
+  just bytes in a dict, with no I/O, no fsync latency, and no host
+  filesystem state leaking between seeded runs;
+* real durability is a deployment concern — :class:`FileStorage` keeps
+  one file per log under a directory, with the atomic-replace dance
+  (temp file + ``os.replace``) that makes compaction crash-safe.
+
+The contract every backend honours:
+
+* ``read`` returns whatever was successfully written — a name that was
+  never written reads as empty bytes, never an error;
+* ``append`` is the group-commit primitive: one call persists one batch;
+* ``replace`` is **atomic**: after a crash the reader sees either the
+  old content or the new content, never a torn mix.  Compaction relies
+  on exactly this (the compacted segment must never destroy the records
+  it summarizes until it is fully durable).
+"""
+
+from __future__ import annotations
+
+import os
+from abc import ABC, abstractmethod
+from typing import Dict, Tuple
+
+#: Suffix of in-flight replacement files; readers never look at these,
+#: so a crash between writing the temp file and the atomic rename
+#: leaves the original log untouched.
+TMP_SUFFIX = ".tmp"
+
+
+class Storage(ABC):
+    """A named-blob store with append and atomic-replace semantics."""
+
+    @abstractmethod
+    def read(self, name: str) -> bytes:
+        """Everything written to ``name`` so far (empty when absent)."""
+
+    @abstractmethod
+    def append(self, name: str, data: bytes) -> None:
+        """Durably append ``data`` to ``name`` (creating it if needed)."""
+
+    @abstractmethod
+    def replace(self, name: str, data: bytes) -> None:
+        """Atomically replace ``name``'s content with ``data``."""
+
+    @abstractmethod
+    def remove(self, name: str) -> None:
+        """Delete ``name`` (a no-op when absent)."""
+
+    @abstractmethod
+    def names(self) -> Tuple[str, ...]:
+        """The names currently stored, sorted."""
+
+
+class MemoryStorage(Storage):
+    """The simulator's disk: blobs in a dict, trivially atomic.
+
+    ``crash(lose_state=True)`` models losing the *process and its
+    state*, not the disk — so the cluster keeps one ``MemoryStorage``
+    per replica alive across rebuilds, exactly like a host whose data
+    volume survives a reimage.
+    """
+
+    def __init__(self) -> None:
+        self._blobs: Dict[str, bytearray] = {}
+
+    def read(self, name: str) -> bytes:
+        return bytes(self._blobs.get(name, b""))
+
+    def append(self, name: str, data: bytes) -> None:
+        self._blobs.setdefault(name, bytearray()).extend(data)
+
+    def replace(self, name: str, data: bytes) -> None:
+        self._blobs[name] = bytearray(data)
+
+    def remove(self, name: str) -> None:
+        self._blobs.pop(name, None)
+
+    def names(self) -> Tuple[str, ...]:
+        return tuple(sorted(self._blobs))
+
+    def __repr__(self) -> str:
+        return f"MemoryStorage(logs={len(self._blobs)})"
+
+
+class FileStorage(Storage):
+    """One file per log under ``root``; replace is temp + ``os.replace``.
+
+    Args:
+        root: Directory holding the log files (created if missing).
+        fsync: Flush appends and replacements through to the device.
+            Defaults off — the test suite and the experiment drivers
+            care about crash *semantics* (which the atomic rename
+            provides against process crashes), not about surviving
+            power loss on the CI host.
+    """
+
+    def __init__(self, root: str, *, fsync: bool = False) -> None:
+        self.root = root
+        self.fsync = fsync
+        os.makedirs(root, exist_ok=True)
+
+    def _path(self, name: str) -> str:
+        if not name or "/" in name or "\\" in name or name.startswith("."):
+            raise ValueError(f"invalid log name {name!r}")
+        return os.path.join(self.root, name)
+
+    def read(self, name: str) -> bytes:
+        try:
+            with open(self._path(name), "rb") as handle:
+                return handle.read()
+        except FileNotFoundError:
+            return b""
+
+    def append(self, name: str, data: bytes) -> None:
+        with open(self._path(name), "ab") as handle:
+            handle.write(data)
+            handle.flush()
+            if self.fsync:
+                os.fsync(handle.fileno())
+
+    def replace(self, name: str, data: bytes) -> None:
+        path = self._path(name)
+        tmp = path + TMP_SUFFIX
+        with open(tmp, "wb") as handle:
+            handle.write(data)
+            handle.flush()
+            if self.fsync:
+                os.fsync(handle.fileno())
+        os.replace(tmp, path)
+
+    def remove(self, name: str) -> None:
+        try:
+            os.remove(self._path(name))
+        except FileNotFoundError:
+            pass
+
+    def names(self) -> Tuple[str, ...]:
+        return tuple(
+            sorted(
+                entry
+                for entry in os.listdir(self.root)
+                if not entry.endswith(TMP_SUFFIX) and not entry.startswith(".")
+            )
+        )
+
+    def __repr__(self) -> str:
+        return f"FileStorage(root={self.root!r})"

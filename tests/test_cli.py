@@ -106,6 +106,31 @@ class TestRun:
         assert "Figure 1" in written
         assert written.strip().splitlines()[0] in output
 
+    def test_kv_faults_recovery_wal_grows_the_table(self):
+        code, output = run_cli(
+            "kv",
+            "--replicas", "4", "--keys", "48", "--rounds", "6", "--ops", "3",
+            "--shards", "8", "--replication", "2",
+            "--repair", "2", "--repair-fanout", "8",
+            "--faults", "--recovery", "wal",
+        )
+        assert code == 0
+        # The WAL strategy row rides next to the baselines it must beat.
+        for row in ("blanket", "digest", "wal"):
+            assert f"\n{row} " in output or f"\n{row}+" in output
+        assert "wal+repair" not in output  # only with --recovery wal+repair
+        assert "wal replay" in output  # the grown column
+
+    def test_kv_faults_default_compares_all_strategies(self):
+        code, output = run_cli(
+            "kv",
+            "--replicas", "4", "--keys", "48", "--rounds", "6", "--ops", "3",
+            "--shards", "8", "--replication", "2",
+            "--repair", "2", "--repair-fanout", "8", "--faults",
+        )
+        assert code == 0
+        assert "wal+repair" in output
+
     def test_unknown_experiment_is_rejected(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["run", "figure99"])

@@ -26,6 +26,8 @@ import pytest
 from repro.kv.antientropy import AntiEntropyConfig
 from repro.kv.cluster import KVCluster
 from repro.kv.ring import HashRing
+from repro.sim.network import ClusterConfig
+from repro.sim.topology import full_mesh
 from repro.sync import StateBased, keyed_bp_rr
 from repro.workloads.kv import KVZipfWorkload
 
@@ -92,6 +94,59 @@ def test_digest_repair_probes_fire_on_both_transports():
     assert sim["converged"] and tcp["converged"]
     assert tcp["keyspace"] == sim["keyspace"]
     assert tcp["probes"] == sim["probes"]
+
+
+def run_kv_lossy(transport, *, rounds=6, loss_rate=0.2, loss_seed=5):
+    """A seeded lossy replay; state-based tolerates arbitrary loss."""
+    ring = HashRing(range(4), n_shards=8, replication=2)
+    workload = KVZipfWorkload(ring, rounds, 3, keys=48, zipf_coefficient=1.0, seed=11)
+    config = ClusterConfig(
+        topology=full_mesh(4), loss_rate=loss_rate, loss_seed=loss_seed
+    )
+    cluster = KVCluster(ring, StateBased, config=config, transport=transport)
+    try:
+        cluster.run_rounds(workload.rounds, workload.updates_for)
+        drain = cluster.drain()
+        return {
+            "dropped": cluster.messages_dropped,
+            "messages": cluster.metrics.message_count,
+            "drain": drain,
+            "keyspace": cluster.merged_keyspace(),
+        }
+    finally:
+        cluster.close()
+
+
+class TestLossScheduleIsTrafficPure:
+    """The loss flips are a pure function of (seed, src, dst, edge-seq).
+
+    The old shared stream assigned flips in consumption order — on TCP
+    that was event-loop callback order, so repeated runs (and sim-vs-
+    TCP comparisons) dropped different frames.  Per-edge streams make
+    the drop schedule a property of the traffic itself.
+    """
+
+    def test_repeated_tcp_runs_drop_identical_frames(self):
+        first = run_kv_lossy("tcp")
+        second = run_kv_lossy("tcp")
+        assert first["dropped"] == second["dropped"] > 0
+        assert first["messages"] == second["messages"]
+        assert first["drain"] == second["drain"]
+        assert first["keyspace"] == second["keyspace"]
+
+    def test_sim_and_tcp_drop_identical_frames(self):
+        sim = run_kv_lossy("sim")
+        tcp = run_kv_lossy("tcp")
+        assert tcp["dropped"] == sim["dropped"] > 0
+        assert tcp["messages"] == sim["messages"]
+        assert tcp["drain"] == sim["drain"]
+        assert tcp["keyspace"] == sim["keyspace"]
+
+    def test_the_loss_seed_still_selects_the_schedule(self):
+        assert (
+            run_kv_lossy("tcp", loss_seed=5)["dropped"]
+            != run_kv_lossy("tcp", loss_seed=6)["dropped"]
+        )
 
 
 def test_tcp_survives_the_fault_schedule():

@@ -155,6 +155,73 @@ class TestTcpTransport:
         cluster.close()
         cluster.close()
 
+    def test_close_reentered_from_the_running_loop(self):
+        """close() from inside the event loop (cleanup after a stall
+        escaping _settle, __del__ from a callback) must not raise
+        RuntimeError from run_until_complete; it schedules the shutdown
+        and a later outside-the-loop close() finishes the teardown."""
+        cluster = Cluster(ClusterConfig(line(2)), StateBased, SetLattice(), "tcp")
+        transport = cluster.transport
+        cluster.run_round(lambda node: [lambda s: SetLattice({f"n{node}"})])
+
+        async def reenter():
+            transport.close()  # would previously raise RuntimeError
+
+        transport._loop.run_until_complete(reenter())
+        assert not transport._closed  # teardown deferred, not abandoned
+        assert transport._deferred_shutdown is not None
+        cluster.close()
+        assert transport._closed
+        assert transport._loop.is_closed()
+        cluster.close()  # still idempotent afterwards
+
+    def test_failed_deferred_shutdown_is_retried_by_the_final_close(self):
+        """A deferred shutdown that dies must not leave sockets open:
+        the outer close() retrieves the failure and runs a fresh one."""
+        cluster = Cluster(ClusterConfig(line(2)), StateBased, SetLattice(), "tcp")
+        transport = cluster.transport
+        original_shutdown = transport._shutdown
+        calls = []
+
+        async def failing_shutdown():
+            calls.append("failed")
+            raise OSError("teardown died")
+
+        transport._shutdown = failing_shutdown
+
+        async def reenter():
+            transport.close()
+
+        transport._loop.run_until_complete(reenter())
+        import asyncio
+
+        transport._loop.run_until_complete(asyncio.sleep(0))  # let it fail
+        deferred = transport._deferred_shutdown
+        assert deferred is not None and deferred.done()
+        transport._shutdown = original_shutdown
+        cluster.close()  # retrieves the exception, reruns the shutdown
+        assert calls == ["failed"]
+        assert transport._loop.is_closed()
+
+    def test_teardown_raising_mid_close_still_closes_the_loop(self):
+        """If the awaited shutdown itself raises, the exception surfaces
+        to the caller but the loop must not leak — close() is
+        idempotent, so no later call would ever retry."""
+        cluster = Cluster(ClusterConfig(line(2)), StateBased, SetLattice(), "tcp")
+        transport = cluster.transport
+        real_shutdown = transport._shutdown
+
+        async def exploding_shutdown():
+            await real_shutdown()  # release the sockets, then fail late
+            raise OSError("teardown died")
+
+        transport._shutdown = exploding_shutdown
+        with pytest.raises(OSError, match="teardown died"):
+            transport.close()
+        assert transport._closed
+        assert transport._loop.is_closed()
+        transport.close()  # idempotent, no second raise
+
     def test_queue_is_a_sim_only_surface(self):
         transport = AsyncTcpTransport(ClusterConfig(line(2)), MetricsCollector(2))
         assert not hasattr(transport, "queue")
