@@ -23,6 +23,7 @@ from conftest import SCALE
 from repro.experiments import (
     KVConfig,
     run_kv_cell,
+    run_kv_rebalance,
     run_kv_repair_comparison,
     run_kv_sweep,
 )
@@ -164,3 +165,48 @@ def test_kv_repair_divergence_beats_blanket(benchmark, report_sink):
     # never re-ships full states the way blanket does.
     assert verified.repair_payload_bytes < blanket.repair_payload_bytes
     assert verified.probes > wal.probes
+
+
+@pytest.mark.benchmark(group="kv-store")
+def test_kv_rebalance_handoff_beats_fullstate_transfer(benchmark, report_sink):
+    """Live membership changes ship compacted WAL segments, not states.
+
+    One seeded replay: traffic flows while a 16th replica joins and
+    replica 0 is decommissioned; every moved shard travels as one
+    handoff segment from one source, measured against the naive
+    baseline of every live old owner pushing its full encoded state to
+    every gaining owner.
+    """
+    config = KVConfig(
+        replicas=16,
+        keys=1000,
+        rounds=ROUNDS,
+        ops_per_node=8,
+        shards=32,
+        replication=3,
+        zipf=1.0,
+        seed=42,
+        workload="zipf",
+        repair_interval=4,
+        repair_fanout=8,
+        repair_mode="digest",
+        recovery="wal",
+    )
+    result = benchmark.pedantic(
+        run_kv_rebalance, kwargs=dict(config=config), rounds=1, iterations=1
+    )
+    report_sink("kv_rebalance", result.render())
+
+    # Equal outcome first: per-shard convergence with the new membership,
+    # the leaver fully drained, every handoff acknowledged.
+    assert result.converged
+    assert result.decommissioned_empty
+    for phase in result.phases:
+        # Minimal movement: the consistent ring touches about the
+        # changed node's share (~replication/n), never a reshuffle.
+        assert 0 < phase.moved_shards
+        assert phase.moved_fraction < 2.5 * phase.expected_fraction
+        assert phase.unsourced == 0
+    # The headline: handing off one compacted segment per moved shard
+    # undercuts the naive every-owner-pushes-full-state transfer.
+    assert 0 < result.handoff_payload_bytes < result.naive_fullstate_bytes

@@ -12,6 +12,8 @@ without writing a driver script::
     python -m repro kv --workload retwis --zipf 1.5 --budget 4096
     python -m repro kv --repair 4 --repair-mode digest --faults
     python -m repro kv --faults --recovery wal
+    python -m repro kv --rebalance
+    python -m repro kv --rebalance --transport tcp --replicas 6
     python -m repro kv --transport tcp --replicas 8 --keys 200
 
 Each run prints the same plain-text table the corresponding
@@ -265,8 +267,11 @@ def build_parser() -> argparse.ArgumentParser:
     kv.add_argument(
         "--repair-mode",
         choices=("blanket", "digest"),
-        default="blanket",
-        help="full-state pushes on a timer, or divergence-driven digest probes",
+        default=None,
+        help=(
+            "full-state pushes on a timer, or divergence-driven digest "
+            "probes (default: blanket; --rebalance requires digest)"
+        ),
     )
     kv.add_argument(
         "--repair-fanout",
@@ -294,6 +299,17 @@ def build_parser() -> argparse.ArgumentParser:
             "run the seeded fault scenario (partition + heal + crash with "
             "disk loss) comparing blanket vs digest repair instead of the "
             "protocol sweep"
+        ),
+    )
+    kv.add_argument(
+        "--rebalance",
+        action="store_true",
+        help=(
+            "run the live-rebalancing scenario instead of the protocol "
+            "sweep: traffic flows while a replica is added and another "
+            "decommissioned, every moved shard shipped as a compacted "
+            "WAL-segment handoff; reports handoff bytes vs the naive "
+            "full-state transfer baseline (default recovery: wal)"
         ),
     )
     kv.add_argument(
@@ -341,6 +357,35 @@ def main(argv: Optional[List[str]] = None, stream=None) -> int:
                 file=sys.stderr,
             )
             return 2
+        if args.rebalance and args.faults:
+            print(
+                "repro kv: --rebalance and --faults are separate scenarios; "
+                "pass one of them",
+                file=sys.stderr,
+            )
+            return 2
+        if args.rebalance and args.algorithms and len(args.algorithms) > 1:
+            print(
+                "repro kv: --rebalance replays one inner protocol; pass a "
+                "single --algorithms entry",
+                file=sys.stderr,
+            )
+            return 2
+        if args.rebalance and args.repair is not None and args.repair < 1:
+            print(
+                "repro kv: --rebalance requires repair (handoff gaps "
+                "re-converge through it); pass --repair >= 1 or drop "
+                "--repair for the default",
+                file=sys.stderr,
+            )
+            return 2
+        if args.rebalance and args.repair_mode == "blanket":
+            print(
+                "repro kv: --rebalance is divergence-driven end to end and "
+                "requires --repair-mode digest (or dropping the flag)",
+                file=sys.stderr,
+            )
+            return 2
         config = KVConfig(
             replicas=args.replicas,
             keys=args.keys,
@@ -353,22 +398,41 @@ def main(argv: Optional[List[str]] = None, stream=None) -> int:
             seed=args.seed,
             workload=args.workload,
             budget_bytes=args.budget,
-            # --faults and an explicit digest mode are meaningless with
-            # repair disabled, so when --repair is *unset* they default
-            # to a working interval; an explicit --repair 0 is honored.
+            # --faults, --rebalance, and an explicit digest mode are
+            # meaningless with repair disabled, so when --repair is
+            # *unset* they default to a working interval; an explicit
+            # --repair 0 is honored.
             repair_interval=args.repair
             if args.repair is not None
-            else (4 if args.faults or args.repair_mode == "digest" else 0),
-            repair_mode=args.repair_mode,
+            else (
+                4
+                if args.faults or args.rebalance or args.repair_mode == "digest"
+                else 0
+            ),
+            # The rebalance scenario is divergence-driven end to end
+            # (its handoff warm-path/suspicion machinery expects digest
+            # probes), so it defaults the unset flag to digest; an
+            # explicit blanket was rejected above.
+            repair_mode=args.repair_mode
+            if args.repair_mode is not None
+            else ("digest" if args.rebalance else "blanket"),
             repair_fanout=args.repair_fanout,
             transport=args.transport,
             # Outside --faults the flag directly sets the store's
             # lose-state policy; the fault comparison instead derives
             # per-row policies from the strategy labels below.
-            recovery=args.recovery if args.recovery is not None else "repair",
+            # --rebalance defaults to wal so handoffs ship log segments.
+            recovery=args.recovery
+            if args.recovery is not None
+            else ("wal" if args.rebalance else "repair"),
         )
         started = time.perf_counter()
-        if args.faults:
+        if args.rebalance:
+            from repro.experiments import run_kv_rebalance
+
+            inner = args.algorithms[0] if args.algorithms else "delta-based-bp-rr"
+            result = run_kv_rebalance(config, algorithm=inner)
+        elif args.faults:
             # Each WAL strategy is compared against the rungs below it
             # on the recovery ladder (so `--recovery wal` rides next to
             # the blanket and digest baselines it must beat); no flag

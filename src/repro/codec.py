@@ -495,6 +495,9 @@ WIRE_KINDS = (
     "kv-repair",  # store repair: (delta, echo digest | None)
     "kv-shard",  # store framing: one (shard, message)
     "kv-batch",  # store framing: bundled (shard, message) pairs
+    "kv-handoff-offer",  # rebalance: shard handoff announcement (root, size hint)
+    "kv-handoff-segment",  # rebalance: compacted WAL segment (encoded delta records)
+    "kv-handoff-ack",  # rebalance: receiver verdict (complete flag, replayed root)
 )
 _WIRE_KIND_INDEX = {kind: index for index, kind in enumerate(WIRE_KINDS)}
 
@@ -729,6 +732,50 @@ def _read_kv_batch(payload_in: BinaryIO, meta_in: BinaryIO):
     return tuple(entries)
 
 
+def _write_kv_handoff_offer(payload, payload_out: BinaryIO, meta_out: BinaryIO) -> None:
+    root, size_hint = payload
+    write_atom(meta_out, root)
+    write_uvarint(meta_out, size_hint)
+
+
+def _read_kv_handoff_offer(payload_in: BinaryIO, meta_in: BinaryIO):
+    root = read_atom(meta_in)
+    return (root, read_uvarint(meta_in))
+
+
+def _write_kv_handoff_segment(payload, payload_out: BinaryIO, meta_out: BinaryIO) -> None:
+    # Record bodies are already codec-encoded deltas straight off the
+    # shard log; the bodies are payload, their length prefixes framing.
+    write_uvarint(meta_out, len(payload))
+    for body in payload:
+        write_uvarint(meta_out, len(body))
+        payload_out.write(body)
+
+
+def _read_kv_handoff_segment(payload_in: BinaryIO, meta_in: BinaryIO):
+    return tuple(
+        _read_exact(payload_in, read_uvarint(meta_in))
+        for _ in range(read_uvarint(meta_in))
+    )
+
+
+def _write_kv_handoff_ack(payload, payload_out: BinaryIO, meta_out: BinaryIO) -> None:
+    complete, root = payload
+    meta_out.write(b"\x01" if complete else b"\x00")
+    if root is None:
+        meta_out.write(b"\x00")
+    else:
+        meta_out.write(b"\x01")
+        write_atom(meta_out, root)
+
+
+def _read_kv_handoff_ack(payload_in: BinaryIO, meta_in: BinaryIO):
+    complete = bool(_read_exact(meta_in, 1)[0])
+    has_root = _read_exact(meta_in, 1)[0]
+    root = read_atom(meta_in) if has_root else None
+    return (complete, root)
+
+
 _WIRE_CODECS = {
     "state": (_write_state, _read_state),
     "delta": (_write_state, _read_state),
@@ -746,6 +793,9 @@ _WIRE_CODECS = {
     "kv-repair": (_write_kv_repair, _read_kv_repair),
     "kv-shard": (_write_kv_shard, _read_kv_shard),
     "kv-batch": (_write_kv_batch, _read_kv_batch),
+    "kv-handoff-offer": (_write_kv_handoff_offer, _read_kv_handoff_offer),
+    "kv-handoff-segment": (_write_kv_handoff_segment, _read_kv_handoff_segment),
+    "kv-handoff-ack": (_write_kv_handoff_ack, _read_kv_handoff_ack),
 }
 
 

@@ -48,6 +48,11 @@ from repro.experiments.kv_sweep import (
     run_kv_repair_comparison,
     run_kv_sweep,
 )
+from repro.experiments.kv_rebalance import (
+    KVRebalanceResult,
+    RebalancePhase,
+    run_kv_rebalance,
+)
 
 #: Registry mapping artifact identifiers to their drivers.
 EXPERIMENTS = {
@@ -72,9 +77,12 @@ __all__ = [
     "KV_ALGORITHMS",
     "KVCell",
     "KVConfig",
+    "KVRebalanceResult",
     "KVRepairComparison",
     "KVSweepResult",
+    "RebalancePhase",
     "run_kv_cell",
+    "run_kv_rebalance",
     "run_kv_repair_cell",
     "run_kv_repair_comparison",
     "run_kv_sweep",

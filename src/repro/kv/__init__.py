@@ -19,16 +19,30 @@ reconciliation):
   :class:`~repro.sync.protocol.Synchronizer`, running any inner
   protocol per shard;
 * :mod:`repro.kv.cluster` — the store on the simulated network with
-  smart-client routing, per-shard convergence, and partition/crash
+  smart-client routing, per-shard convergence, partition/crash
   recovery under a pluggable recovery policy (bottom restart + remote
   repair, or local :mod:`repro.wal` replay with repair covering only
-  the remainder).
+  the remainder), and **live membership changes**:
+  ``add_replica``/``decommission_replica`` swap the ring mid-run and
+  ship every moved shard as a compacted WAL segment through the
+  ``kv-handoff-*`` protocol, fencing the old owner's log on completion.
 """
 
 from repro.kv.antientropy import REPAIR_MODES, AntiEntropyConfig, AntiEntropyScheduler
-from repro.kv.cluster import RECOVERY_POLICIES, KVCluster, Unavailable
+from repro.kv.cluster import (
+    RECOVERY_POLICIES,
+    KVCluster,
+    RebalanceReport,
+    Unavailable,
+)
 from repro.kv.ring import HashRing, stable_hash
-from repro.kv.store import KVRoutingError, KVStore, KVUpdate, kv_store_factory
+from repro.kv.store import (
+    HANDOFF_KINDS,
+    KVRoutingError,
+    KVStore,
+    KVUpdate,
+    kv_store_factory,
+)
 from repro.kv.types import (
     DEFAULT_PREFIXES,
     KVTypeError,
@@ -43,7 +57,9 @@ __all__ = [
     "AntiEntropyConfig",
     "AntiEntropyScheduler",
     "DEFAULT_PREFIXES",
+    "HANDOFF_KINDS",
     "HashRing",
+    "RebalanceReport",
     "KVCluster",
     "KVRoutingError",
     "KVStore",

@@ -79,6 +79,10 @@ class AntiEntropyConfig:
             ``"digest"`` (divergence-driven probes; see module doc).
         batch: Bundle all same-destination shard messages of a tick
             into one wire message (per-message framing is paid once).
+        handoff_retry_interval: Ticks a rebalance handoff waits for the
+            peer's acknowledgement before retransmitting its current
+            phase (offer or segment) — the recovery path when loss or a
+            transient fault eats a handoff frame.
     """
 
     budget_bytes: Optional[int] = None
@@ -86,6 +90,7 @@ class AntiEntropyConfig:
     repair_fanout: int = 1
     repair_mode: str = "blanket"
     batch: bool = True
+    handoff_retry_interval: int = 4
 
     def __post_init__(self) -> None:
         if self.budget_bytes is not None and self.budget_bytes < 1:
@@ -98,6 +103,8 @@ class AntiEntropyConfig:
             raise ValueError(
                 f"repair_mode must be one of {REPAIR_MODES}, got {self.repair_mode!r}"
             )
+        if self.handoff_retry_interval < 1:
+            raise ValueError("handoff_retry_interval must be at least 1")
 
 
 class AntiEntropyScheduler:
@@ -157,6 +164,12 @@ class AntiEntropyScheduler:
         self._last_probe: Dict[Tuple[int, int], int] = {}
         #: δ-paths whose peer refused a send (crash / severed link).
         self._suspect: Set[Tuple[int, int]] = set()
+        #: Rebalance handoffs this replica is sourcing:
+        #: (shard, dst) → {"phase": "offer" | "segment", "sent": tick | None}.
+        self._handoffs: Dict[Tuple[int, int], Dict] = {}
+        #: Bytes planned by the last :meth:`plan` call (handoff pacing
+        #: reads it to honour the same per-tick budget).
+        self._spent = 0
         #: Shard-sync opportunities skipped because the budget ran out.
         self.deferred = 0
         #: Shard syncs actually planned.
@@ -172,6 +185,23 @@ class AntiEntropyScheduler:
         self.repair_payload_bytes = 0
         #: Repair-path metadata bytes that reached it (roots, digests).
         self.repair_metadata_bytes = 0
+        # Handoff accounting.  Traffic counters follow the repair rule —
+        # counted where they *arrive* — while start/finish counters are
+        # the source's lifecycle view.
+        #: Handoffs this replica began sourcing.
+        self.handoffs_started = 0
+        #: Handoffs acknowledged complete by their receiver.
+        self.handoffs_completed = 0
+        #: Handoffs dropped because the source lost the shard's state.
+        self.handoffs_abandoned = 0
+        #: Handoff offers received.
+        self.handoff_offers = 0
+        #: Handoff segments received.
+        self.handoff_segments = 0
+        #: Handoff-path payload bytes that reached this replica.
+        self.handoff_payload_bytes = 0
+        #: Handoff-path metadata bytes that reached it (roots, framing).
+        self.handoff_metadata_bytes = 0
 
     # ------------------------------------------------------------------
     # Signals from the store: δ-path activity and peer reachability.
@@ -228,6 +258,156 @@ class AntiEntropyScheduler:
         self.tick = ticks
 
     # ------------------------------------------------------------------
+    # Membership changes: ring rebalancing.
+    # ------------------------------------------------------------------
+
+    def apply_membership(
+        self,
+        shard_ids: Sequence[int],
+        shard_peers: Mapping[int, Sequence[int]],
+        *,
+        suspect_paths: Sequence[Tuple[int, int]] = (),
+    ) -> None:
+        """Swap the owned-shard set after a ring rebalance.
+
+        δ-path clocks survive for every (shard, peer) pair that exists
+        on both sides of the change; paths that appear — a gained shard,
+        or a moved shard's new co-owner — start *warm* (as if a delta
+        had just flowed), giving the handoff protocol one full coldness
+        interval to ship its segment before digest probes escalate and
+        re-ship the same content as repair deltas.  ``suspect_paths``
+        overrides warmth for the pairs the store knows diverged — the
+        surviving co-owner pairs of a rebuilt shard synchronizer, whose
+        pending δ-buffers the rebuild discarded.
+        """
+        old_paths = {
+            (shard, peer)
+            for shard, peers in self.shard_peers.items()
+            for peer in peers
+        }
+        self.shard_ids = tuple(sorted(shard_ids))
+        self.shard_peers = {
+            shard: tuple(shard_peers.get(shard, ())) for shard in self.shard_ids
+        }
+        reverse: Dict[int, List[int]] = {}
+        for shard in self.shard_ids:
+            for peer in self.shard_peers[shard]:
+                reverse.setdefault(peer, []).append(shard)
+        self._peer_shards = {
+            peer: tuple(shards) for peer, shards in reverse.items()
+        }
+        live_paths = {
+            (shard, peer)
+            for shard, peers in self.shard_peers.items()
+            for peer in peers
+        }
+        self._last_delta = {
+            path: tick for path, tick in self._last_delta.items() if path in live_paths
+        }
+        self._last_probe = {
+            path: tick for path, tick in self._last_probe.items() if path in live_paths
+        }
+        self._suspect = {path for path in self._suspect if path in live_paths}
+        for path in live_paths - old_paths:
+            self._last_delta[path] = self.tick
+        for path in suspect_paths:
+            if path in live_paths:
+                self._suspect.add(path)
+        if self.shard_ids:
+            self._cursor %= len(self.shard_ids)
+            self._repair_cursor %= len(self.shard_ids)
+        else:
+            self._cursor = self._repair_cursor = 0
+
+    # ------------------------------------------------------------------
+    # Shard handoff scheduling (the source side of a rebalance).
+    # ------------------------------------------------------------------
+
+    def enqueue_handoff(self, shard: int, dst: int) -> None:
+        """Begin sourcing a shard handoff to ``dst`` (offer goes first)."""
+        key = (shard, dst)
+        if key not in self._handoffs:
+            self.handoffs_started += 1
+        self._handoffs[key] = {"phase": "offer", "sent": None}
+
+    def note_handoff_wanted(self, shard: int, dst: int) -> None:
+        """The receiver acknowledged the offer and wants the segment."""
+        entry = self._handoffs.get((shard, dst))
+        if entry is not None:
+            entry["phase"] = "segment"
+            entry["sent"] = None
+
+    def finish_handoff(self, shard: int, dst: int) -> bool:
+        """The receiver acknowledged this handoff complete."""
+        if self._handoffs.pop((shard, dst), None) is not None:
+            self.handoffs_completed += 1
+            return True
+        return False
+
+    def abandon_handoff(self, shard: int, dst: int) -> bool:
+        """Drop a handoff that transferred nothing.
+
+        Two ways here: the source lost the shard's state (lose-state
+        rebuild mid-handoff), or the receiver *declined* because the
+        ring moved again and it is no longer the gaining owner.  Kept
+        separate from :meth:`finish_handoff` so the completion counter
+        only ever means "a receiver confirmed it holds the shard";
+        abandonments are the failure signal an operator reads.
+        """
+        if self._handoffs.pop((shard, dst), None) is not None:
+            self.handoffs_abandoned += 1
+            return True
+        return False
+
+    def pending_handoffs(self, shard: Optional[int] = None) -> int:
+        """Handoffs still in flight (for ``shard`` when given)."""
+        if shard is None:
+            return len(self._handoffs)
+        return sum(1 for s, _ in self._handoffs if s == shard)
+
+    def plan_handoffs(self) -> List[Tuple[int, int, str]]:
+        """Handoff transmissions due this tick: ``(shard, dst, phase)``.
+
+        Call once per tick, after :meth:`plan`.  Offers are metadata-
+        sized and all go out immediately; segments carry shard-sized
+        payloads and are paced — at most ``repair_fanout`` per tick,
+        throttled to one when :meth:`plan` already spent the tick's
+        send budget, so a rebalance rides *within* the same budget that
+        backpressures normal synchronization instead of spiking past
+        it.  An unacknowledged phase retransmits after
+        ``handoff_retry_interval`` ticks (loss / transient faults).
+        """
+        due: List[Tuple[int, int, str]] = []
+        retry = self.config.handoff_retry_interval
+        budget = self.config.budget_bytes
+        segment_cap = self.config.repair_fanout
+        if budget is not None and self._spent >= budget:
+            segment_cap = 1
+        segments_served = 0
+        for (shard, dst), entry in sorted(self._handoffs.items()):
+            sent = entry["sent"]
+            if sent is not None and self.tick - sent < retry:
+                continue
+            if entry["phase"] == "segment":
+                if segments_served >= segment_cap:
+                    continue
+                segments_served += 1
+            entry["sent"] = self.tick
+            due.append((shard, dst, entry["phase"]))
+        return due
+
+    def note_handoff_traffic(
+        self, payload_bytes: int, metadata_bytes: int, *, kind: str
+    ) -> None:
+        """Account handoff-path traffic that arrived at this replica."""
+        self.handoff_payload_bytes += payload_bytes
+        self.handoff_metadata_bytes += metadata_bytes
+        if kind == "kv-handoff-offer":
+            self.handoff_offers += 1
+        elif kind == "kv-handoff-segment":
+            self.handoff_segments += 1
+
+    # ------------------------------------------------------------------
     # The per-tick plan.
     # ------------------------------------------------------------------
 
@@ -249,6 +429,7 @@ class AntiEntropyScheduler:
           gone cold or suspect (``repair_mode == "digest"`` only).
         """
         self.tick += 1
+        self._spent = 0
         planned: List[Tuple[int, Send]] = []
         if not self.shard_ids:
             return planned, [], []
@@ -271,6 +452,7 @@ class AntiEntropyScheduler:
                 spent += send.message.total_bytes
                 planned.append((shard, send))
         self._cursor = (self._cursor + served) % len(self.shard_ids)
+        self._spent = spent
 
         interval = self.config.repair_interval
         if not interval:
@@ -337,4 +519,11 @@ class AntiEntropyScheduler:
             "probes": self.probes,
             "repair_payload_bytes": self.repair_payload_bytes,
             "repair_metadata_bytes": self.repair_metadata_bytes,
+            "handoffs_started": self.handoffs_started,
+            "handoffs_completed": self.handoffs_completed,
+            "handoffs_abandoned": self.handoffs_abandoned,
+            "handoff_offers": self.handoff_offers,
+            "handoff_segments": self.handoff_segments,
+            "handoff_payload_bytes": self.handoff_payload_bytes,
+            "handoff_metadata_bytes": self.handoff_metadata_bytes,
         }

@@ -34,12 +34,21 @@ is the cluster's **recovery policy** (:data:`RECOVERY_POLICIES`):
 * ``"wal+repair"`` — replay as above, then mark every δ-path suspect so
   the recovered replica immediately root-probes its co-owners to
   *verify* the replay instead of trusting it.
+
+Membership is live: :meth:`KVCluster.add_replica` and
+:meth:`KVCluster.decommission_replica` swap the consistent-hash ring
+mid-run and drive one shard handoff per moved (shard, gaining-owner)
+pair — the old owner ships a compacted WAL segment, the gaining owner
+replays it, and the leaver fences its logs — while client requests
+route against the new placement throughout.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Any, Callable, Dict, Hashable, List, Optional, Tuple, Union
 
+from repro.codec import encode
 from repro.net.transport import Transport
 
 from repro.kv.antientropy import AntiEntropyConfig
@@ -60,12 +69,62 @@ class Unavailable(RuntimeError):
     """No live owner of the key's shard is reachable."""
 
 
+@dataclass(frozen=True)
+class RebalanceReport:
+    """What one live membership change planned.
+
+    The handoff protocol itself runs asynchronously over the following
+    rounds (drive the cluster and :meth:`KVCluster.converged` judges
+    completion); this report captures the *placement* consequence —
+    which shards moved, who ships what to whom — plus the byte cost a
+    naive scheme would have paid, for the handoff-vs-blanket comparison.
+
+    Attributes:
+        added: The joining replica (``None`` for a decommission).
+        removed: The leaving replica (``None`` for an add).
+        old_replicas: Ring membership before the change.
+        new_replicas: Ring membership after it.
+        n_shards: The ring's shard count (for ``moved_fraction``).
+        moved_shards: Shards whose owner group changed.
+        transfers: Planned handoffs ``(shard, source, gaining)``.
+        unsourced: ``(shard, gaining)`` pairs with no live old owner to
+            ship from — the shard starts *empty* at its new owners.
+            The crashed old owners' WALs are left unfenced (see
+            :meth:`KVCluster.decommission_replica`), so the content is
+            recoverable by an operator, but nothing re-ships it
+            automatically; a non-empty ``unsourced`` is a signal to
+            recover owners first and rebalance again.
+        naive_fullstate_bytes: What shipping a live state object from
+            *every* live old owner to every gaining owner would cost
+            (encoded bytes) — the blanket-transfer baseline the
+            WAL-segment handoff is measured against.
+    """
+
+    added: Optional[int]
+    removed: Optional[int]
+    old_replicas: Tuple[int, ...]
+    new_replicas: Tuple[int, ...]
+    n_shards: int
+    moved_shards: Tuple[int, ...]
+    transfers: Tuple[Tuple[int, int, int], ...]
+    unsourced: Tuple[Tuple[int, int], ...]
+    naive_fullstate_bytes: int
+
+    @property
+    def moved_fraction(self) -> float:
+        """Fraction of shards that changed owners (~replication/n)."""
+        return len(self.moved_shards) / self.n_shards
+
+
 class KVCluster(Cluster):
     """A simulated cluster of sharded store replicas.
 
     Args:
         ring: Placement of shards onto the cluster's node indices; its
-            replica set must be exactly ``0..n-1`` of the topology.
+            replica set must be a subset of the topology's nodes
+            ``0..n-1`` (a proper subset leaves spare nodes to
+            :meth:`add_replica` later, and is also the state a
+            :meth:`decommission_replica` leaves behind).
         inner_factory: Synchronizer factory run per shard per owner
             (any entry of :data:`repro.sync.ALGORITHMS` or friends).
         topology: Overlay connecting the replicas; defaults to a full
@@ -102,12 +161,16 @@ class KVCluster(Cluster):
     ) -> None:
         if config is None:
             if topology is None:
-                topology = full_mesh(len(ring.replicas))
+                # One node per index up to the highest ring member: rings
+                # over a contiguous 0..n-1 get the historical mesh, rings
+                # over a subset still get every member a seat.
+                topology = full_mesh(max(ring.replicas) + 1)
             config = ClusterConfig(topology=topology)
-        if ring.replicas != tuple(range(config.topology.n)):
+        out_of_range = [r for r in ring.replicas if not 0 <= r < config.topology.n]
+        if out_of_range:
             raise ValueError(
                 "the ring must place shards on the topology's node indices "
-                f"0..{config.topology.n - 1}, got {ring.replicas}"
+                f"0..{config.topology.n - 1}, got out-of-range {out_of_range}"
             )
         if recovery not in RECOVERY_POLICIES:
             raise ValueError(
@@ -122,6 +185,9 @@ class KVCluster(Cluster):
             )
         self.ring = ring
         self.recovery = recovery
+        self._antientropy = (
+            antientropy if antientropy is not None else AntiEntropyConfig()
+        )
         #: The durable log of each replica, keyed by index.  Created
         #: lazily by the factory and *never* dropped on a rebuild —
         #: the log surviving the crash is the whole point.
@@ -129,7 +195,9 @@ class KVCluster(Cluster):
         self._wal_storage = wal_storage
         self._wal_config = wal_config if wal_config is not None else WalConfig()
         factory = kv_store_factory(
-            ring,
+            # A provider, not the ring object: a store rebuilt after a
+            # live rebalance must open on the *current* placement.
+            lambda: self.ring,
             inner_factory,
             schema=schema,
             antientropy=antientropy,
@@ -177,6 +245,216 @@ class KVCluster(Cluster):
             store.replay_wal(verify=verify)
 
         return restore
+
+    # ------------------------------------------------------------------
+    # Live membership changes: ring rebalancing with shard handoff.
+    # ------------------------------------------------------------------
+
+    def add_replica(self, node: int) -> RebalanceReport:
+        """Bring topology node ``node`` into the ring mid-run.
+
+        Placement shifts minimally (:meth:`~repro.kv.ring.HashRing.
+        with_replica`); for every moved shard an old owner ships the
+        gaining replica a compacted WAL segment through the handoff
+        protocol over the following rounds, while client traffic keeps
+        flowing against the new ring.
+        """
+        if not 0 <= node < self.topology.n:
+            raise ValueError(
+                f"no topology node {node} to add (nodes: 0..{self.topology.n - 1})"
+            )
+        if node in self.down:
+            raise ValueError(f"cannot add crashed node {node}; recover it first")
+        return self._rebalance(self.ring.with_replica(node), added=node)
+
+    def decommission_replica(self, node: int) -> RebalanceReport:
+        """Retire ``node`` from the ring mid-run.
+
+        The leaver sources one handoff per shard it held; once the
+        gaining owners acknowledge, it fences and truncates its shard
+        logs and ends empty (the node itself stays in the topology and
+        may be re-added later).
+
+        Decommissioning a *crashed* replica is allowed — the dead-node
+        removal every ring-based store needs — but it cannot source
+        handoffs: surviving co-owners ship the moved shards instead,
+        any shard with no live owner is reported ``unsourced`` (it
+        starts empty at its new owners), and the dead node's WAL is
+        deliberately left unfenced so an operator can still recover it
+        and re-add it.  Prefer ``recover`` + decommission when the
+        node's disk is intact.
+        """
+        return self._rebalance(self.ring.without_replica(node), removed=node)
+
+    def _rebalance(
+        self,
+        new_ring: HashRing,
+        *,
+        added: Optional[int] = None,
+        removed: Optional[int] = None,
+    ) -> RebalanceReport:
+        """Swap the ring everywhere and plan the shard handoffs.
+
+        Repair must be enabled: handoff covers the moved content, but
+        the δ-buffers discarded when surviving owners rebuild their
+        shard synchronizers — and any handoff abandoned to a crash —
+        re-converge through the repair path, so a rebalance without one
+        could silently strand novelty.
+        """
+        if self._antientropy.repair_interval < 1:
+            raise ValueError(
+                "live rebalancing requires repair: construct the cluster "
+                "with AntiEntropyConfig(repair_interval >= 1) so handoff "
+                "gaps (discarded δ-buffers, lost frames, crashes) are "
+                "re-converged"
+            )
+        old_ring = self.ring
+        moved = tuple(old_ring.moved_shards(new_ring))
+        # Validate the new placement against the overlay *before* any
+        # state changes: apply_ring below runs per node, and a
+        # connectivity error surfacing mid-loop would leave the cluster
+        # half-rebalanced (some stores on the new ring, some on the
+        # old).  Only moved shards need checking — unmoved groups were
+        # valid under the old ring and neighbourhoods don't change.
+        for shard in moved:
+            group = new_ring.shard_owners(shard)
+            for member in group:
+                reachable = set(self.topology.neighbors(member)) | {member}
+                missing = [peer for peer in group if peer not in reachable]
+                if missing:
+                    raise ValueError(
+                        f"rebalance would place shard {shard} on group "
+                        f"{group}, but replica {member} cannot reach "
+                        f"{missing}; the topology must connect every "
+                        "replica group"
+                    )
+        transfers: List[Tuple[int, int, int]] = []
+        unsourced: List[Tuple[int, int]] = []
+        naive_bytes = 0
+        def shard_copy(node, shard):
+            store = self.nodes[node]
+            assert isinstance(store, KVStore)
+            return store.shards.get(shard) or store._fencing.get(shard)
+
+        def has_content(node, shard):
+            inner = shard_copy(node, shard)
+            return inner is not None and not inner.state.is_bottom
+
+        for shard in moved:
+            old_owners = old_ring.shard_owners(shard)
+            new_owners = set(new_ring.shard_owners(shard))
+            gaining = sorted(r for r in new_owners if r not in old_owners)
+            if not gaining:
+                continue
+            live_old = [o for o in old_owners if o not in self.down]
+            # A source from an *earlier* overlapping rebalance may still
+            # hold the shard in its fencing set — possibly the only
+            # replica with the content when its own segment never
+            # shipped (the current ring's owner is still empty).
+            retained = [
+                node
+                for node in range(self.topology.n)
+                if node not in self.down
+                and node not in old_owners
+                and shard in self.nodes[node]._fencing
+            ]
+            live_losing = [o for o in live_old if o not in new_owners]
+            remaining = [o for o in live_old if o in new_owners]
+            # Preference order: the leaving owner (shipping is its exit
+            # path and its segment carries novelty only it held), then a
+            # retained earlier source, then an owner staying put — but a
+            # candidate that actually holds content always beats an
+            # empty one, whatever its category.
+            ordered = live_losing + retained + remaining
+            if not ordered:
+                unsourced.extend((shard, g) for g in gaining)
+                continue
+            sources = [c for c in ordered if has_content(c, shard)] or ordered
+            # The baseline a naive transfer pays: every content-capable
+            # old holder pushes its full state object to every gaining
+            # owner.
+            per_gaining = sum(
+                len(encode(shard_copy(o, shard).state))
+                for o in (live_old or retained)
+            )
+            for index, g in enumerate(gaining):
+                transfers.append((shard, sources[index % len(sources)], g))
+                naive_bytes += per_gaining
+        # A source keeps serving a shard it no longer owns until the
+        # gaining owner acknowledges; everyone else fences immediately.
+        retain: Dict[int, set] = {}
+        for shard, source, _ in transfers:
+            if source not in new_ring.shard_owners(shard):
+                retain.setdefault(source, set()).add(shard)
+        self.ring = new_ring
+        for node in range(self.topology.n):
+            self.runtimes[node].apply_ring(
+                new_ring,
+                retain=frozenset(retain.get(node, ())),
+                # A crashed replica may hold the only durable copy of a
+                # shard no live owner can source (``unsourced``):
+                # reshape it, but leave its logs untouched so an
+                # operator can still recover the node and re-add it.
+                fence=node not in self.down,
+            )
+        for shard, source, gaining in transfers:
+            store = self.nodes[source]
+            assert isinstance(store, KVStore)
+            store.begin_handoff(shard, gaining)
+        return RebalanceReport(
+            added=added,
+            removed=removed,
+            old_replicas=old_ring.replicas,
+            new_replicas=new_ring.replicas,
+            n_shards=new_ring.n_shards,
+            moved_shards=moved,
+            transfers=tuple(transfers),
+            unsourced=tuple(unsourced),
+            naive_fullstate_bytes=naive_bytes,
+        )
+
+    def pending_handoffs(self) -> int:
+        """Handoffs still in flight at live replicas.
+
+        Down replicas are excluded: they cannot make progress until
+        recovered, and their queues resume then.
+        """
+        total = 0
+        for index, node in enumerate(self.nodes):
+            if index in self.down:
+                continue
+            assert isinstance(node, KVStore)
+            total += node.scheduler.pending_handoffs()
+        return total
+
+    def drain(self) -> int:
+        """Drain to convergence *and* let outstanding handoffs settle.
+
+        State convergence can precede protocol completion: digest
+        repair may fill a gaining owner before its segment ships, while
+        the source still awaits the acknowledgement that lets it fence
+        its log.  And a late segment can carry novelty the gaining
+        owner drains rather than propagates, breaking the convergence
+        the first pass established — so the two conditions are
+        re-checked together until both hold in the same round.
+        """
+        rounds = super().drain()
+        for _ in range(self.config.max_drain_rounds):
+            if not self.pending_handoffs() and self.converged():
+                break
+            self.run_round(updates=None)
+            rounds += 1
+        if self.pending_handoffs():
+            raise RuntimeError(
+                f"{self.pending_handoffs()} shard handoffs failed to settle "
+                f"within {self.config.max_drain_rounds} extra drain rounds"
+            )
+        if not self.converged():
+            raise RuntimeError(
+                "no post-handoff convergence within "
+                f"{self.config.max_drain_rounds} extra drain rounds"
+            )
+        return rounds
 
     # ------------------------------------------------------------------
     # Smart-client request routing.

@@ -130,7 +130,17 @@ class HashRing:
     # ------------------------------------------------------------------
 
     def with_replica(self, replica: int) -> "HashRing":
-        """A new ring with ``replica`` added; placement shifts minimally."""
+        """A new ring with ``replica`` added; placement shifts minimally.
+
+        Raises :class:`ValueError` when the replica is already a member:
+        the constructor's ``sorted(set(...))`` dedup used to swallow the
+        duplicate and silently return an identical ring, which read as a
+        successful membership change that moved zero shards.
+        """
+        if replica in self.replicas:
+            raise ValueError(
+                f"replica {replica} is already a member of the ring"
+            )
         return HashRing(
             self.replicas + (replica,),
             n_shards=self.n_shards,
@@ -139,8 +149,26 @@ class HashRing:
         )
 
     def without_replica(self, replica: int) -> "HashRing":
-        """A new ring with ``replica`` removed."""
+        """A new ring with ``replica`` removed.
+
+        Raises :class:`ValueError` when the replica is not a member
+        (removal used to silently no-op) and when removal would leave
+        fewer members than the replication factor — diagnosed here,
+        where the caller knows *which removal* broke the invariant,
+        instead of surfacing as the constructor's generic "replication
+        k exceeds replica count" complaint.
+        """
+        if replica not in self.replicas:
+            raise ValueError(
+                f"replica {replica} is not a member of the ring "
+                f"(members: {list(self.replicas)})"
+            )
         remaining = tuple(r for r in self.replicas if r != replica)
+        if len(remaining) < self.replication:
+            raise ValueError(
+                f"removing replica {replica} would leave {len(remaining)} "
+                f"< replication {self.replication} owners per shard"
+            )
         return HashRing(
             remaining,
             n_shards=self.n_shards,

@@ -45,6 +45,14 @@ Repair rides alongside the inner protocols on three wire kinds:
   every inner protocol's bookkeeping (δ-buffers, Scuttlebutt versions)
   stays truthful about repaired content.
 
+Ring rebalancing adds three more kinds (:data:`HANDOFF_KINDS`):
+``kv-handoff-offer`` announces a moved shard with a root hash,
+``kv-handoff-segment`` ships the shard as its compacted WAL records
+(the canonical encoded join decomposition), and ``kv-handoff-ack``
+completes the exchange — at which point a source that no longer owns
+the shard fences and truncates its log.  :meth:`KVStore.apply_ring` is
+the membership-swap entry point the cluster drives.
+
 Wire framing adds one shard tag per bundled shard message; payload and
 metadata accounting of the inner protocols is preserved unchanged, so
 cross-algorithm byte comparisons measured through the store remain as
@@ -64,6 +72,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, Hashable, Iterator, List, Optional, Sequence, Tuple
 
+from repro.codec import decode, encode
 from repro.kv.antientropy import AntiEntropyConfig, AntiEntropyScheduler
 from repro.kv.ring import HashRing
 from repro.kv.types import Schema, TypeSpec
@@ -80,6 +89,20 @@ from repro.sync.digest import (
 )
 from repro.sync.protocol import Message, Send, Synchronizer
 from repro.wal import ReplicaWal
+
+#: Wire kinds of the shard-handoff protocol (ring rebalancing).  The
+#: exchange per (shard, gaining replica) pair, ``S`` the source (an old
+#: owner) and ``G`` the gaining owner:
+#:
+#:   1. S → G  kv-handoff-offer    (root(S), size hint)   — O(hash)
+#:   2. G → S  kv-handoff-ack      (complete?, root)      — roots match ⇒ done
+#:   3. S → G  kv-handoff-segment  (compacted WAL records) — the shard
+#:   4. G → S  kv-handoff-ack      (complete=True, root(G))
+#:
+#: On the final ack the source — if it no longer owns the shard —
+#: fences and truncates its shard log, so a later re-add cannot replay
+#: stale ownership.
+HANDOFF_KINDS = ("kv-handoff-offer", "kv-handoff-segment", "kv-handoff-ack")
 
 
 class KVRoutingError(LookupError):
@@ -160,39 +183,55 @@ class KVStore(Synchronizer):
         self.size_model = size_model
 
         self.ring = ring
+        self.inner_factory = inner_factory
         #: The durable per-shard delta log, shared across incarnations
         #: of this replica (``None`` disables write-ahead logging).
         self.wal = wal
         #: δ-paths restored by :meth:`replay_wal`, consumed by
         #: :meth:`restore_clock` once the cluster round is known.
         self._replayed_paths: Tuple[Tuple[int, int], ...] = ()
+        #: Shards this replica stopped owning but still sources a
+        #: pending handoff from: shard id → the retired synchronizer.
+        #: Fenced and dropped once the gaining owner acknowledges.
+        self._fencing: Dict[int, Synchronizer] = {}
+        #: Wire messages that arrived for a shard the current ring does
+        #: not place here — in-flight traffic outrun by a rebalance.
+        self.stale_shard_messages = 0
         self.schema = schema if schema is not None else Schema()
         config = antientropy if antientropy is not None else AntiEntropyConfig()
         owned = ring.shards_owned_by(replica)
-        reachable = set(self.neighbors) | {replica}
         #: shard id → this replica's synchronizer for that shard.
         self.shards: Dict[int, Synchronizer] = {}
         shard_peers: Dict[int, Tuple[int, ...]] = {}
         for shard in owned:
-            group = ring.shard_owners(shard)
-            missing = [peer for peer in group if peer not in reachable]
-            if missing:
-                raise ValueError(
-                    f"replica {replica} cannot reach co-owners {missing} of "
-                    f"shard {shard}; the cluster topology must connect every "
-                    "replica group"
-                )
-            peers = [peer for peer in group if peer != replica]
-            self.shards[shard] = inner_factory(
-                replica=replica,
-                neighbors=peers,
-                bottom=bottom,
-                n_nodes=n_nodes,
-                size_model=size_model,
-            )
-            shard_peers[shard] = tuple(peers)
+            peers = self._shard_peers_checked(shard, ring)
+            self.shards[shard] = self._make_inner(peers)
+            shard_peers[shard] = peers
         self.scheduler = AntiEntropyScheduler(
             config, owned, shard_peers, replica=replica
+        )
+
+    def _shard_peers_checked(self, shard: int, ring: HashRing) -> Tuple[int, ...]:
+        """The shard's co-owners, verified reachable over the overlay."""
+        group = ring.shard_owners(shard)
+        reachable = set(self.neighbors) | {self.replica}
+        missing = [peer for peer in group if peer not in reachable]
+        if missing:
+            raise ValueError(
+                f"replica {self.replica} cannot reach co-owners {missing} of "
+                f"shard {shard}; the cluster topology must connect every "
+                "replica group"
+            )
+        return tuple(peer for peer in group if peer != self.replica)
+
+    def _make_inner(self, peers: Sequence[int]) -> Synchronizer:
+        """One shard's inner synchronizer over its replica group."""
+        return self.inner_factory(
+            replica=self.replica,
+            neighbors=peers,
+            bottom=self.bottom,
+            n_nodes=self.n_nodes,
+            size_model=self.size_model,
         )
 
     # ------------------------------------------------------------------
@@ -329,6 +368,21 @@ class KVStore(Synchronizer):
             )
             for dst in peers:
                 wire.append((dst, shard, probe))
+        for shard, dst, phase in self.scheduler.plan_handoffs():
+            inner = self.shards.get(shard)
+            if inner is None:
+                inner = self._fencing.get(shard)
+            if inner is None:
+                # The shard's state is gone (e.g. a lose-state rebuild
+                # mid-handoff); abandon — the gaining owner's coldness
+                # probes will repair it from the surviving co-owners.
+                self.scheduler.abandon_handoff(shard, dst)
+                self._maybe_finalize_fence(shard)
+                continue
+            if phase == "offer":
+                wire.append((dst, shard, self._handoff_offer(inner)))
+            else:
+                wire.append((dst, shard, self._handoff_segment_message(shard, inner)))
         return self._package(wire)
 
     def handle_message(self, src: int, message: Message) -> List[Send]:
@@ -340,11 +394,22 @@ class KVStore(Synchronizer):
             raise ValueError(f"unexpected wire message kind {message.kind!r}")
         wire: List[Tuple[int, int, Message]] = []
         for shard, inner_message in entries:
+            if inner_message.kind in HANDOFF_KINDS:
+                reply = self._handle_handoff(src, shard, inner_message)
+                if reply is not None:
+                    wire.append((src, shard, reply))
+                continue
             inner = self.shards.get(shard)
             if inner is None:
-                raise KVRoutingError(
-                    f"replica {self.replica} received traffic for unowned shard {shard}"
-                )
+                if self.replica in self.ring.shard_owners(shard):
+                    raise KVRoutingError(
+                        f"replica {self.replica} received traffic for unowned "
+                        f"shard {shard}"
+                    )
+                # In-flight traffic outrun by a rebalance: the sender
+                # addressed an owner group this replica has left.
+                self.stale_shard_messages += 1
+                continue
             if inner_message.kind in ("kv-repair", "kv-digest", "kv-diff"):
                 reply = self._handle_repair(src, shard, inner, inner_message)
                 if reply is not None:
@@ -449,6 +514,223 @@ class KVStore(Synchronizer):
             metadata_bytes=metadata,
             metadata_units=len(echo) if echo is not None else 0,
         )
+
+    # ------------------------------------------------------------------
+    # Ring rebalancing: membership swap and the shard-handoff protocol.
+    # ------------------------------------------------------------------
+
+    def apply_ring(
+        self, ring: HashRing, *, retain=frozenset(), fence: bool = True
+    ) -> None:
+        """Swap to a new ring mid-run, reshaping the owned-shard set.
+
+        Three shard transitions, all while traffic keeps flowing:
+
+        * **gained** — a fresh (empty) inner synchronizer over the new
+          replica group; content arrives through the handoff protocol
+          (or, failing that, through digest repair).  A fenced WAL log
+          from a previous ownership is reopened — it was truncated at
+          fence time, so nothing stale can replay.
+        * **lost** — the shard leaves :attr:`shards`.  A shard named in
+          ``retain`` sticks around in the fencing set because this
+          replica is the designated handoff source; everything else is
+          fenced immediately (log truncated, state dropped).  With
+          ``fence=False`` — a *crashed* replica being reshaped by the
+          cluster — logs are left untouched instead: the down replica
+          may hold the only durable copy of a shard no live owner can
+          source, and truncating it here would turn a membership change
+          into data loss.  CRDT join makes the preserved content safe:
+          if the replica later regains the shard, old records join
+          below the handed-off state instead of resurrecting it.
+        * **kept with a changed group** — the inner synchronizer is
+          rebuilt over the new peer set (per-neighbour protocol state —
+          sequence numbers, ack maps — is peer-shaped and cannot be
+          mutated in place), seeded through ``absorb_state`` and
+          drained: the content is restoration, not news.  The paths to
+          *surviving* co-owners are marked suspect, because the rebuild
+          discarded δ-buffers that may have held unshipped novelty;
+          paths to new co-owners start warm so the handoff gets one
+          coldness interval to land before probes re-ship the shard.
+        """
+        old_owned = set(self.shards)
+        old_peers = {
+            shard: tuple(inner.neighbors) for shard, inner in self.shards.items()
+        }
+        self.ring = ring
+        new_owned = set(ring.shards_owned_by(self.replica))
+        suspect: List[Tuple[int, int]] = []
+        for shard in sorted(new_owned - old_owned):
+            peers = self._shard_peers_checked(shard, ring)
+            retired = self._fencing.pop(shard, None)
+            if retired is not None:
+                # Regained before the old handoff finished: keep the
+                # retired instance's content instead of starting empty.
+                fresh = self._make_inner(peers)
+                fresh.absorb_state(retired.state, None)
+                fresh.sync_messages()  # drain: restoration, not news
+                self.shards[shard] = fresh
+            else:
+                self.shards[shard] = self._make_inner(peers)
+            if self.wal is not None:
+                self.wal.unfence(shard)
+        for shard in sorted(old_owned - new_owned):
+            inner = self.shards.pop(shard)
+            if shard in retain:
+                self._fencing[shard] = inner
+            elif fence:
+                self._fence_now(shard)
+        for shard in sorted(new_owned & old_owned):
+            peers = self._shard_peers_checked(shard, ring)
+            if set(peers) == set(old_peers[shard]):
+                continue
+            old_inner = self.shards[shard]
+            fresh = self._make_inner(peers)
+            fresh.absorb_state(old_inner.state, None)
+            fresh.sync_messages()  # drain: restoration, not news
+            self.shards[shard] = fresh
+            survivors = set(peers) & set(old_peers[shard])
+            suspect.extend((shard, peer) for peer in survivors)
+        self.scheduler.apply_membership(
+            sorted(self.shards),
+            {
+                shard: tuple(inner.neighbors)
+                for shard, inner in self.shards.items()
+            },
+            suspect_paths=suspect,
+        )
+
+    def begin_handoff(self, shard: int, dst: int) -> None:
+        """Start sourcing ``shard`` to its gaining owner ``dst``."""
+        self.scheduler.enqueue_handoff(shard, dst)
+
+    def _handoff_offer(self, inner: Synchronizer) -> Message:
+        """Phase 1: announce the handoff with the source's root hash."""
+        root = root_of(digest_of(inner.state))
+        return Message(
+            kind="kv-handoff-offer",
+            payload=(root, inner.state.size_bytes(self.size_model)),
+            payload_units=0,
+            payload_bytes=0,
+            metadata_bytes=ROOT_BYTES + self.size_model.int_bytes,
+            metadata_units=1,
+        )
+
+    def _handoff_segment_records(
+        self, shard: int, inner: Synchronizer
+    ) -> List[bytes]:
+        """The segment body: the shard's compacted log, or its state.
+
+        With a WAL the segment *is* the log — staged records are
+        group-committed first so the export covers this tick's writes,
+        then the log compacts to the single record of its join.  A
+        store without a log (the ``"repair"`` recovery policy) ships
+        the encoded join decomposition of the live state: the same
+        canonical bytes the log would have compacted to.
+        """
+        if self.wal is not None:
+            records = self.wal.export_segment(shard)
+            if records:
+                return records
+        return [encode(inner.state)]
+
+    def _handoff_segment_message(self, shard: int, inner: Synchronizer) -> Message:
+        records = tuple(self._handoff_segment_records(shard, inner))
+        tag = self.size_model.int_bytes
+        return Message(
+            kind="kv-handoff-segment",
+            payload=records,
+            payload_units=inner.state.size_units(),
+            payload_bytes=sum(len(body) for body in records),
+            metadata_bytes=tag * (1 + len(records)),
+            metadata_units=len(records),
+        )
+
+    def _handoff_ack(self, complete: bool, root) -> Message:
+        return Message(
+            kind="kv-handoff-ack",
+            payload=(complete, root),
+            payload_units=0,
+            payload_bytes=0,
+            metadata_bytes=2 + (ROOT_BYTES if root is not None else 0),
+            metadata_units=1,
+        )
+
+    def _handle_handoff(
+        self, src: int, shard: int, message: Message
+    ) -> Optional[Message]:
+        if message.kind == "kv-handoff-ack":
+            complete, root = message.payload
+            self.scheduler.note_handoff_traffic(
+                0, message.metadata_bytes, kind=message.kind
+            )
+            if complete:
+                # Fence only on an ack that carries the receiver's root
+                # — proof a replica now durably holds the content.  A
+                # rootless completion is a *declination* (the ring moved
+                # again and the peer is no longer the gaining owner):
+                # this replica may still hold the only copy, so the
+                # retained shard and its log stay until a later
+                # rebalance re-sources or regains the shard — and the
+                # declination counts as an abandonment, not a receiver-
+                # confirmed completion.
+                if root is not None:
+                    self.scheduler.finish_handoff(shard, src)
+                    self._maybe_finalize_fence(shard)
+                else:
+                    self.scheduler.abandon_handoff(shard, src)
+            else:
+                self.scheduler.note_handoff_wanted(shard, src)
+            return None
+        inner = self.shards.get(shard)
+        if message.kind == "kv-handoff-offer":
+            root, _hint = message.payload
+            self.scheduler.note_handoff_traffic(
+                0, message.metadata_bytes, kind=message.kind
+            )
+            if inner is None:
+                # The ring moved again and this replica is no longer
+                # the gaining owner; complete so the source can fence.
+                self.stale_shard_messages += 1
+                return self._handoff_ack(True, None)
+            mine = root_of(digest_of(inner.state))
+            if mine == root:
+                # Already holding the offered content (a retried offer,
+                # or repair beat the handoff): skip the segment bytes.
+                self.scheduler.note_delta_activity(shard, src)
+                return self._handoff_ack(True, mine)
+            return self._handoff_ack(False, None)
+        # kv-handoff-segment: replay the shipped log records.
+        self.scheduler.note_handoff_traffic(
+            message.payload_bytes, message.metadata_bytes, kind=message.kind
+        )
+        if inner is None:
+            self.stale_shard_messages += 1
+            return self._handoff_ack(True, None)
+        state: Optional[Lattice] = None
+        for body in message.payload:
+            delta = decode(body)
+            state = delta if state is None else state.join(delta)
+        if state is not None and not state.is_bottom:
+            absorbed = inner.absorb_state(state, src)
+            # Drain, never send: every surviving co-owner already holds
+            # (almost all of) this content; the δ-paths' coldness probes
+            # cover the true divergence for a digest's worth of bytes.
+            inner.sync_messages()
+            if not absorbed.is_bottom:
+                self._wal_append(shard, absorbed)
+            self.scheduler.note_delta_activity(shard, src)
+        return self._handoff_ack(True, root_of(digest_of(inner.state)))
+
+    def _fence_now(self, shard: int) -> None:
+        """Seal a disowned shard's log so a re-add cannot resurrect it."""
+        if self.wal is not None:
+            self.wal.fence(shard)
+
+    def _maybe_finalize_fence(self, shard: int) -> None:
+        """Fence a retained source shard once its last handoff settles."""
+        if shard in self._fencing and not self.scheduler.pending_handoffs(shard):
+            del self._fencing[shard]
+            self._fence_now(shard)
 
     # ------------------------------------------------------------------
     # Fault signals from the transport and rebuild alignment.
@@ -606,7 +888,7 @@ class KVStore(Synchronizer):
 
 
 def kv_store_factory(
-    ring: HashRing,
+    ring,
     inner_factory,
     *,
     schema: Optional[Schema] = None,
@@ -618,6 +900,12 @@ def kv_store_factory(
     The returned callable has the :data:`~repro.sync.protocol.
     SynchronizerFactory` signature, so ``Cluster(config, factory,
     MapLattice())`` builds one store process per simulated node.
+
+    ``ring`` may be a :class:`~repro.kv.ring.HashRing` or a zero-arg
+    callable returning one, resolved at *build* time: a cluster whose
+    membership changes mid-run passes a provider, so a store rebuilt by
+    ``crash(lose_state=True)`` after a rebalance opens on the current
+    placement instead of the ring the cluster started with.
 
     ``wal_provider`` maps a replica index to its durable
     :class:`~repro.wal.ReplicaWal`; it is a callable (not a dict) so
@@ -638,7 +926,7 @@ def kv_store_factory(
             bottom=bottom,
             n_nodes=n_nodes,
             size_model=size_model,
-            ring=ring,
+            ring=ring() if callable(ring) else ring,
             inner_factory=inner_factory,
             schema=schema,
             antientropy=antientropy,

@@ -105,6 +105,24 @@ class ReplicaRuntime:
         if hook is not None:
             hook(ticks)
 
+    def apply_ring(self, ring, *, retain=frozenset(), fence: bool = True) -> None:
+        """Swap the synchronizer's placement ring (live rebalancing).
+
+        Fronts the optional ``apply_ring`` hook the sharded store
+        exposes, keeping membership changes on the same no-``getattr``
+        seam as the fault signals.  A protocol without the hook cannot
+        rebalance — that is a caller error, not a silent no-op.
+        ``fence=False`` preserves the durable logs of shards this
+        (crashed) replica loses instead of truncating them.
+        """
+        hook = getattr(self.synchronizer, "apply_ring", None)
+        if hook is None:
+            raise TypeError(
+                f"{type(self.synchronizer).__name__} does not support ring "
+                "membership changes (no apply_ring hook)"
+            )
+        hook(ring, retain=retain, fence=fence)
+
     def replace(self, synchronizer: Synchronizer, restore=None) -> None:
         """Swap in a fresh protocol instance (crash with state loss).
 

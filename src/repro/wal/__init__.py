@@ -38,6 +38,7 @@ from repro.wal.log import (
     ReplicaWal,
     ShardLog,
     WalConfig,
+    WalFencedError,
     pack_record,
     unpack_records,
 )
@@ -51,6 +52,7 @@ __all__ = [
     "ShardLog",
     "Storage",
     "WalConfig",
+    "WalFencedError",
     "pack_record",
     "unpack_records",
 ]

@@ -47,6 +47,10 @@ from repro.wal.storage import MemoryStorage, Storage
 CRC_BYTES = 4
 
 
+class WalFencedError(RuntimeError):
+    """An append reached a shard log fenced by a rebalance handoff."""
+
+
 def pack_record(body: bytes) -> bytes:
     """Frame one encoded delta as a self-delimiting, checksummed record."""
     out = BytesIO()
@@ -135,6 +139,10 @@ class ShardLog:
         #: state itself outgrows the threshold, re-deriving the image —
         #: a full decode-join-encode — every commit would buy nothing.
         self._compact_floor = 0
+        #: Set when a rebalance handed this shard to another replica:
+        #: the log was truncated and refuses appends until the shard is
+        #: owned here again (:meth:`unfence`).
+        self.fenced = False
         # Counters surfaced through ReplicaWal.stats().
         self.records_committed = 0
         self.commits = 0
@@ -142,6 +150,7 @@ class ShardLog:
         self.compactions = 0
         self.corrupt_tails_dropped = 0
         self.records_discarded = 0
+        self.fences = 0
 
     # ------------------------------------------------------------------
     # The write path: stage, group-commit, compact.
@@ -149,6 +158,11 @@ class ShardLog:
 
     def stage(self, encoded: bytes) -> None:
         """Buffer one encoded delta for the next group commit."""
+        if self.fenced:
+            raise WalFencedError(
+                f"shard log {self.name!r} is fenced (ownership was handed "
+                "off); unfence on re-acquisition before appending"
+            )
         self._staged.append(encoded)
 
     def discard_staged(self) -> int:
@@ -231,6 +245,50 @@ class ShardLog:
         self._size = len(record)
         self.compactions += 1
         return True
+
+    # ------------------------------------------------------------------
+    # Rebalance: segment export and ownership fencing.
+    # ------------------------------------------------------------------
+
+    def export_records(self) -> List[bytes]:
+        """The committed log as encoded delta bodies, compacted first.
+
+        The handoff path of a ring rebalance: the returned bodies are
+        exactly what a ``kv-handoff-segment`` ships, and the receiver's
+        ``⊔ decode(body)`` equals this log's :meth:`replay` — the log
+        *is* the state, so shipping the (compacted) log ships the shard.
+        A fenced log exports nothing: its content was already handed
+        off, and re-exporting it would resurrect stale ownership.
+        """
+        if self.fenced:
+            return []
+        # Fold the history into the single record of its join when that
+        # pays; a log already smaller than its joined image ships as-is.
+        self.compact()
+        bodies, _, _ = unpack_records(self.storage.read(self.name))
+        return bodies
+
+    def fence(self, truncate: bool = True) -> None:
+        """Seal the log after this replica stopped owning the shard.
+
+        Truncates the committed image and drops anything staged, so a
+        later re-add of this replica cannot replay deltas from an
+        ownership it no longer holds — the receiving owner's log is the
+        authoritative continuation.  Appends raise
+        :class:`WalFencedError` until :meth:`unfence`.
+        """
+        self._staged.clear()
+        if truncate:
+            self.storage.replace(self.name, b"")
+            self._size = 0
+            self._tail_validated = True
+            self._compact_floor = 0
+        self.fenced = True
+        self.fences += 1
+
+    def unfence(self) -> None:
+        """Reopen the log: the replica owns the shard again."""
+        self.fenced = False
 
     # ------------------------------------------------------------------
     # The read path: recovery replay.
@@ -342,6 +400,29 @@ class ReplicaWal:
     def compact(self, shard: int) -> bool:
         return self.log(shard).compact()
 
+    # ------------------------------------------------------------------
+    # Rebalance handoff.
+    # ------------------------------------------------------------------
+
+    def export_segment(self, shard: int) -> List[bytes]:
+        """The shard's compacted log as handoff-ready record bodies.
+
+        Group-commits the shard's staged records first, so the segment
+        covers everything up to the moment of export — the handoff must
+        ship the writes of the current tick, not just the last commit.
+        """
+        log = self.log(shard)
+        log.commit()
+        return log.export_records()
+
+    def fence(self, shard: int) -> None:
+        """Seal and truncate the shard's log after an ownership handoff."""
+        self.log(shard).fence()
+
+    def unfence(self, shard: int) -> None:
+        """Reopen the shard's log when ownership returns to this replica."""
+        self.log(shard).unfence()
+
     def stats(self) -> Dict[str, int]:
         """Counters for the experiment reports, summed over shard logs."""
         totals = {
@@ -352,6 +433,7 @@ class ReplicaWal:
             "wal_compactions": 0,
             "wal_corrupt_tails": 0,
             "wal_discarded_records": 0,
+            "wal_fences": 0,
             "wal_replayed_bytes": self.replayed_bytes,
             "wal_replays": self.replays,
         }
@@ -363,6 +445,7 @@ class ReplicaWal:
             totals["wal_compactions"] += log.compactions
             totals["wal_corrupt_tails"] += log.corrupt_tails_dropped
             totals["wal_discarded_records"] += log.records_discarded
+            totals["wal_fences"] += log.fences
         return totals
 
     def __repr__(self) -> str:

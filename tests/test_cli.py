@@ -131,6 +131,33 @@ class TestRun:
         assert code == 0
         assert "wal+repair" in output
 
+    def test_kv_rebalance_reports_handoff_vs_naive(self):
+        code, output = run_cli(
+            "kv",
+            "--replicas", "6", "--keys", "48", "--rounds", "6", "--ops", "3",
+            "--shards", "8", "--replication", "2",
+            "--repair", "2", "--repair-fanout", "8",
+            "--rebalance",
+        )
+        assert code == 0
+        assert "live rebalancing" in output
+        assert "add 5" in output
+        assert "decommission 0" in output
+        assert "vs naive" in output
+        assert "converged=True" in output
+
+    def test_kv_rebalance_excludes_faults(self):
+        code, _ = run_cli("kv", "--rebalance", "--faults")
+        assert code == 2
+
+    def test_kv_rebalance_rejects_disabled_repair(self):
+        code, _ = run_cli("kv", "--rebalance", "--repair", "0")
+        assert code == 2
+
+    def test_kv_rebalance_rejects_blanket_repair_mode(self):
+        code, _ = run_cli("kv", "--rebalance", "--repair-mode", "blanket")
+        assert code == 2
+
     def test_unknown_experiment_is_rejected(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["run", "figure99"])

@@ -98,6 +98,9 @@ REPRESENTATIVES = {
     "kv-repair": (MapLattice({"k": MaxInt(2)}), frozenset({_fp("echo")})),
     "kv-shard": (3, _INNER_STATE),
     "kv-batch": ((1, _INNER_STATE), (5, _INNER_DELTA)),
+    "kv-handoff-offer": (b"r" * 16, 512),
+    "kv-handoff-segment": (encode(SetLattice({"a"})), encode(MaxInt(7))),
+    "kv-handoff-ack": (True, b"r" * 16),
 }
 
 #: Kinds whose payload object is pure lattice content.

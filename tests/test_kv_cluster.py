@@ -226,15 +226,34 @@ class TestRouting:
         with pytest.raises(Unavailable):
             cluster.update("cnt:x", "increment")
 
-    def test_ring_must_match_topology(self):
+    def test_ring_must_fit_the_topology(self):
         import pytest
         from repro.sim.topology import full_mesh
         from repro.sim.network import ClusterConfig
 
-        ring = HashRing(range(4), n_shards=4, replication=2)
+        # A ring over an index the topology does not have is rejected...
+        ring = HashRing([0, 1, 2, 9], n_shards=4, replication=2)
         with pytest.raises(ValueError, match="node indices"):
             KVCluster(
                 ring,
                 keyed_bp_rr,
                 config=ClusterConfig(topology=full_mesh(6)),
             )
+
+    def test_ring_may_cover_a_topology_subset(self):
+        from repro.sim.topology import full_mesh
+        from repro.sim.network import ClusterConfig
+
+        # ...but a subset ring is valid: the post-decommission state,
+        # and the starting point for a later add_replica.
+        ring = HashRing(range(4), n_shards=8, replication=2)
+        cluster = KVCluster(
+            ring,
+            keyed_bp_rr,
+            config=ClusterConfig(topology=full_mesh(6)),
+        )
+        cluster.update("set:s", "add", "x")
+        cluster.run_round(updates=None)
+        cluster.drain()
+        assert cluster.converged()
+        assert not cluster.nodes[5].shards  # spare nodes hold nothing

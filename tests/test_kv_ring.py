@@ -92,6 +92,53 @@ class TestRebalancing:
         assert back.assignment() == ring.assignment()
 
 
+class TestMembershipValidation:
+    def test_adding_an_existing_replica_raises(self):
+        """The set() dedup used to swallow duplicates: an 'add' of an
+        existing member silently returned an identical ring."""
+        ring = HashRing(range(4), n_shards=16, replication=2)
+        with pytest.raises(ValueError, match="replica 2 is already a member"):
+            ring.with_replica(2)
+
+    def test_removing_an_unknown_replica_raises(self):
+        ring = HashRing(range(4), n_shards=16, replication=2)
+        with pytest.raises(ValueError, match="replica 9 is not a member"):
+            ring.without_replica(9)
+
+    def test_removal_below_replication_is_diagnosed_at_the_call_site(self):
+        """Not the constructor's generic 'replication 3 exceeds replica
+        count 2' — the error names the removal that broke the invariant."""
+        ring = HashRing(range(3), n_shards=8, replication=3)
+        with pytest.raises(
+            ValueError, match="removing replica 2 would leave 2 < replication 3"
+        ):
+            ring.without_replica(2)
+
+    def test_moved_fraction_stays_bounded_across_seeds(self):
+        """~replication/n of shards move, for any membership size —
+        the consistent-hash promise live rebalancing depends on."""
+        for n in (8, 12, 16, 24):
+            ring = HashRing(range(n), n_shards=256, replication=3)
+            grown = ring.with_replica(n)
+            added_bound = 256 * 3 / (n + 1)
+            assert 0 < len(ring.moved_shards(grown)) < 2.5 * added_bound
+            shrunk = ring.without_replica(n - 1)
+            removed_bound = 256 * 3 / n
+            assert 0 < len(ring.moved_shards(shrunk)) < 2.5 * removed_bound
+
+    def test_add_remove_round_trip_restores_placement(self):
+        """Membership changes are pure functions of the member set: an
+        add→remove round trip lands on the identical assignment."""
+        ring = HashRing(range(10), n_shards=64, replication=3)
+        back = ring.with_replica(10).without_replica(10)
+        assert back.assignment() == ring.assignment()
+        # And re-running the same change reproduces the same placement.
+        assert (
+            ring.with_replica(10).assignment()
+            == ring.with_replica(10).assignment()
+        )
+
+
 class TestValidation:
     def test_replication_beyond_membership(self):
         with pytest.raises(ValueError, match="replication"):
