@@ -319,8 +319,30 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma-separated protocol subset",
     )
     kv.add_argument(
+        "--trace",
+        type=str,
+        default=None,
+        metavar="PATH",
+        help=(
+            "write a structured JSONL trace of the run to PATH (round "
+            "ticks, per-kind sends/deliveries, repair escalations, WAL "
+            "and handoff events); render it later with "
+            "'repro trace report PATH'"
+        ),
+    )
+    kv.add_argument(
         "--out", type=str, default=None, help="also write the report to this file"
     )
+
+    trace = commands.add_parser(
+        "trace", help="post-process a structured trace file"
+    )
+    trace.add_argument(
+        "action",
+        choices=("report",),
+        help="report: render the per-phase timeline with byte breakdowns",
+    )
+    trace.add_argument("path", type=str, help="JSONL trace file (from --trace)")
     return parser
 
 
@@ -335,6 +357,20 @@ def main(argv: Optional[List[str]] = None, stream=None) -> int:
     """Entry point; returns a process exit code."""
     stream = stream if stream is not None else sys.stdout
     args = build_parser().parse_args(argv)
+
+    if args.command == "trace":
+        from repro.obs import read_trace, render_report
+
+        try:
+            events = read_trace(args.path)
+        except OSError as exc:
+            print(f"repro trace: cannot read {args.path}: {exc}", file=sys.stderr)
+            return 2
+        except ValueError as exc:
+            print(f"repro trace: malformed trace {args.path}: {exc}", file=sys.stderr)
+            return 2
+        print(render_report(events), file=stream)
+        return 0
 
     if args.command == "kv":
         from repro.experiments import KV_ALGORITHMS
@@ -425,6 +461,7 @@ def main(argv: Optional[List[str]] = None, stream=None) -> int:
             recovery=args.recovery
             if args.recovery is not None
             else ("wal" if args.rebalance else "repair"),
+            trace=args.trace,
         )
         started = time.perf_counter()
         if args.rebalance:

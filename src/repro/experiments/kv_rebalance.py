@@ -32,7 +32,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Tuple
 
-from repro.experiments.kv_sweep import KV_ALGORITHMS, KVConfig
+from repro.experiments.kv_sweep import (
+    KV_ALGORITHMS,
+    KVConfig,
+    _cell_span,
+    _open_tracer,
+)
 from repro.experiments.report import format_table, human_bytes
 from repro.kv.cluster import KVCluster, RebalanceReport
 from repro.kv.ring import HashRing
@@ -233,6 +238,7 @@ def run_kv_rebalance(
     workload = config.make_workload(ring)
     joiner = config.replicas - 1
     leaver = 0
+    tracer = _open_tracer(config)
     cluster = KVCluster(
         ring,
         KV_ALGORITHMS[algorithm],
@@ -241,6 +247,10 @@ def run_kv_rebalance(
         transport=config.transport,
         recovery=config.recovery,
         wal_config=config.wal_config() if config.recovery != "repair" else None,
+        trace=tracer,
+    )
+    end_cell = _cell_span(
+        cluster, tracer, f"rebalance {algorithm}", {"workload": workload.name}
     )
 
     def run_traffic(first: int, last: int) -> None:
@@ -268,6 +278,7 @@ def run_kv_rebalance(
         run_traffic(2 * phase, workload.rounds)
         drain_rounds += cluster.drain()
         after_decom = _handoff_snapshot(cluster)
+        end_cell()
         phases = (
             _phase_measurement(
                 f"add {joiner}",
@@ -296,3 +307,5 @@ def run_kv_rebalance(
         )
     finally:
         cluster.close()
+        if tracer is not None:
+            tracer.sink.close()

@@ -104,6 +104,12 @@ class KVConfig:
     recovery: str = "repair"
     #: Per-shard log compaction threshold (``None`` disables).
     wal_compact_bytes: Optional[int] = 64 * 1024
+    #: Structured-trace output path (JSONL); ``None`` disables tracing.
+    #: One file covers the whole driver run — each cell is bracketed by
+    #: ``cell-start``/``cell-end`` events, so ``repro trace report``
+    #: renders one table per cell and the byte totals of the tables can
+    #: be re-derived from the trace alone.
+    trace: Optional[str] = None
 
     def ring(self) -> HashRing:
         return HashRing(
@@ -246,16 +252,46 @@ class KVSweepResult:
         )
 
 
-def run_kv_cell(config: KVConfig, algorithm: str, workload=None) -> KVCell:
+def _open_tracer(config: KVConfig):
+    """The driver-owned tracer for ``config.trace`` (or ``None``)."""
+    if config.trace is None:
+        return None
+    from repro.obs.trace import FileTraceSink, Tracer
+
+    return Tracer(FileTraceSink(config.trace))
+
+
+def _cell_span(cluster: KVCluster, tracer, label: str, extra: dict):
+    """Bracket one cell in the trace: start marker now, end at call."""
+    if tracer is not None:
+        tracer.emit("cell-start", label=label, extra=extra)
+
+    def end() -> None:
+        if tracer is None:
+            return
+        if cluster.timers is not None:
+            tracer.emit("timing", label=label, extra=cluster.timers.snapshot())
+        tracer.emit("cell-end", label=label)
+
+    return end
+
+
+def run_kv_cell(
+    config: KVConfig, algorithm: str, workload=None, tracer=None
+) -> KVCell:
     """Run one protocol against the configured workload replay.
 
     ``workload`` lets a sweep share one pre-generated schedule across
     cells; schedules are immutable after construction, so replays stay
-    identical either way.
+    identical either way.  ``tracer`` is a sweep-owned tracer shared
+    across cells; a standalone call honours ``config.trace`` itself.
     """
     ring = config.ring()
     if workload is None:
         workload = config.make_workload(ring)
+    own_tracer = tracer is None and config.trace is not None
+    if own_tracer:
+        tracer = _open_tracer(config)
     cluster = KVCluster(
         ring,
         KV_ALGORITHMS[algorithm],
@@ -263,13 +299,20 @@ def run_kv_cell(config: KVConfig, algorithm: str, workload=None) -> KVCell:
         transport=config.transport,
         recovery=config.recovery,
         wal_config=config.wal_config() if config.recovery != "repair" else None,
+        trace=tracer,
+    )
+    end_cell = _cell_span(
+        cluster, tracer, algorithm, {"workload": workload.name}
     )
     try:
         cluster.run_rounds(workload.rounds, workload.updates_for)
         drain_rounds = cluster.drain()
+        end_cell()
         return _measure_cell(cluster, algorithm, drain_rounds)
     finally:
         cluster.close()
+        if own_tracer:
+            tracer.sink.close()
 
 
 def _measure_cell(cluster: KVCluster, algorithm: str, drain_rounds: int) -> KVCell:
@@ -358,7 +401,7 @@ class KVRepairComparison:
 
 
 def run_kv_repair_cell(
-    config: KVConfig, algorithm: str, mode: str, workload=None
+    config: KVConfig, algorithm: str, mode: str, workload=None, tracer=None
 ) -> KVCell:
     """One fault replay: partition with writes on both sides, heal,
     crash with disk loss, recover, drain to per-shard convergence.
@@ -390,6 +433,9 @@ def run_kv_repair_cell(
         repair_mode=repair_mode,
         batch=config.batch,
     )
+    own_tracer = tracer is None and config.trace is not None
+    if own_tracer:
+        tracer = _open_tracer(config)
     cluster = KVCluster(
         ring,
         KV_ALGORITHMS[algorithm],
@@ -397,8 +443,11 @@ def run_kv_repair_cell(
         transport=config.transport,
         recovery=recovery,
         wal_config=config.wal_config() if recovery != "repair" else None,
+        trace=tracer,
     )
-
+    end_cell = _cell_span(
+        cluster, tracer, mode, {"algorithm": algorithm, "recovery": recovery}
+    )
     try:
         phase = max(1, workload.rounds // 3)
         updates = workload.updates_for
@@ -417,9 +466,12 @@ def run_kv_repair_cell(
             cluster.run_round(lambda node, r=round_index: updates(r, node))
         cluster.recover(victim)
         drain_rounds = cluster.drain()
+        end_cell()
         return _measure_cell(cluster, algorithm, drain_rounds)
     finally:
         cluster.close()
+        if own_tracer:
+            tracer.sink.close()
 
 
 def run_kv_repair_comparison(
@@ -433,9 +485,16 @@ def run_kv_repair_comparison(
             f"unknown algorithm {algorithm!r} (known: {sorted(KV_ALGORITHMS)})"
         )
     workload = config.make_workload(config.ring())
+    tracer = _open_tracer(config)
     cells: Dict[str, KVCell] = {}
-    for mode in modes:
-        cells[mode] = run_kv_repair_cell(config, algorithm, mode, workload)
+    try:
+        for mode in modes:
+            cells[mode] = run_kv_repair_cell(
+                config, algorithm, mode, workload, tracer=tracer
+            )
+    finally:
+        if tracer is not None:
+            tracer.sink.close()
     return KVRepairComparison(
         config=config,
         algorithm=algorithm,
@@ -456,9 +515,16 @@ def run_kv_sweep(
             f"unknown algorithms {unknown} (known: {sorted(KV_ALGORITHMS)})"
         )
     workload = config.make_workload(config.ring())
+    tracer = _open_tracer(config)
     cells: Dict[str, KVCell] = {}
-    for algorithm in algorithms:
-        cells[algorithm] = run_kv_cell(config, algorithm, workload)
+    try:
+        for algorithm in algorithms:
+            cells[algorithm] = run_kv_cell(
+                config, algorithm, workload, tracer=tracer
+            )
+    finally:
+        if tracer is not None:
+            tracer.sink.close()
     return KVSweepResult(
         config=config,
         workload=workload.name,

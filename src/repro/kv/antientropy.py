@@ -49,6 +49,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
 
+from repro.obs.metrics import MetricsRegistry
 from repro.sync.protocol import Send, Synchronizer
 
 #: Valid values of :attr:`AntiEntropyConfig.repair_mode`.
@@ -126,6 +127,11 @@ class AntiEntropyScheduler:
             the peer can keep the other side's coldness clock warm
             forever, so the suspecting replica must probe regardless of
             id order.
+        registry: The replica's metrics registry the scheduler counters
+            live in (one is created privately when omitted).  A cluster
+            passes a registry that *outlives* store rebuilds, so the
+            counters of a ``crash(lose_state=True)`` incarnation carry
+            over instead of needing retirement bookkeeping.
     """
 
     def __init__(
@@ -135,9 +141,11 @@ class AntiEntropyScheduler:
         shard_peers: Optional[Mapping[int, Sequence[int]]] = None,
         *,
         replica: Optional[int] = None,
+        registry: Optional[MetricsRegistry] = None,
     ) -> None:
         self.config = config
         self.replica = replica
+        self.registry = registry if registry is not None else MetricsRegistry()
         self.shard_ids: Tuple[int, ...] = tuple(sorted(shard_ids))
         self.shard_peers: Dict[int, Tuple[int, ...]] = {
             shard: tuple(shard_peers.get(shard, ())) if shard_peers else ()
@@ -170,38 +178,95 @@ class AntiEntropyScheduler:
         #: Bytes planned by the last :meth:`plan` call (handoff pacing
         #: reads it to honour the same per-tick budget).
         self._spent = 0
+        # All counters live in the registry under ``scheduler.*`` —
+        # created eagerly so a snapshot (or the cluster's stats adapter)
+        # sees every key from tick zero.  The attribute-style names the
+        # rest of the codebase reads (``scheduler.repairs``, …) are
+        # thin properties over these.
+        counter = self.registry.counter
+        #: Planning ticks run (plan() calls across store incarnations).
+        self._c_ticks = counter("scheduler.ticks")
         #: Shard-sync opportunities skipped because the budget ran out.
-        self.deferred = 0
+        self._c_deferred = counter("scheduler.deferred")
         #: Shard syncs actually planned.
-        self.synced = 0
+        self._c_synced = counter("scheduler.synced")
         # Repair traffic is counted where it *arrives*: a push or probe
         # refused by a down peer or severed link never crossed the wire
         # and must not inflate the repair-byte comparison.
         #: Repair payloads absorbed (blanket pushes + digest-diff deltas).
-        self.repairs = 0
+        self._c_repairs = counter("scheduler.repairs")
         #: Digest probes received.
-        self.probes = 0
+        self._c_probes = counter("scheduler.probes")
         #: Repair-path payload bytes that reached this replica.
-        self.repair_payload_bytes = 0
+        self._c_repair_payload = counter("scheduler.repair_payload_bytes")
         #: Repair-path metadata bytes that reached it (roots, digests).
-        self.repair_metadata_bytes = 0
+        self._c_repair_metadata = counter("scheduler.repair_metadata_bytes")
         # Handoff accounting.  Traffic counters follow the repair rule —
         # counted where they *arrive* — while start/finish counters are
         # the source's lifecycle view.
-        #: Handoffs this replica began sourcing.
-        self.handoffs_started = 0
-        #: Handoffs acknowledged complete by their receiver.
-        self.handoffs_completed = 0
-        #: Handoffs dropped because the source lost the shard's state.
-        self.handoffs_abandoned = 0
-        #: Handoff offers received.
-        self.handoff_offers = 0
-        #: Handoff segments received.
-        self.handoff_segments = 0
-        #: Handoff-path payload bytes that reached this replica.
-        self.handoff_payload_bytes = 0
-        #: Handoff-path metadata bytes that reached it (roots, framing).
-        self.handoff_metadata_bytes = 0
+        self._c_handoffs_started = counter("scheduler.handoffs_started")
+        self._c_handoffs_completed = counter("scheduler.handoffs_completed")
+        self._c_handoffs_abandoned = counter("scheduler.handoffs_abandoned")
+        self._c_handoff_offers = counter("scheduler.handoff_offers")
+        self._c_handoff_segments = counter("scheduler.handoff_segments")
+        self._c_handoff_payload = counter("scheduler.handoff_payload_bytes")
+        self._c_handoff_metadata = counter("scheduler.handoff_metadata_bytes")
+
+    # ------------------------------------------------------------------
+    # Counter views (the names the stores, tests, and reports read).
+    # ------------------------------------------------------------------
+
+    @property
+    def deferred(self) -> int:
+        return self._c_deferred.value
+
+    @property
+    def synced(self) -> int:
+        return self._c_synced.value
+
+    @property
+    def repairs(self) -> int:
+        return self._c_repairs.value
+
+    @property
+    def probes(self) -> int:
+        return self._c_probes.value
+
+    @property
+    def repair_payload_bytes(self) -> int:
+        return self._c_repair_payload.value
+
+    @property
+    def repair_metadata_bytes(self) -> int:
+        return self._c_repair_metadata.value
+
+    @property
+    def handoffs_started(self) -> int:
+        return self._c_handoffs_started.value
+
+    @property
+    def handoffs_completed(self) -> int:
+        return self._c_handoffs_completed.value
+
+    @property
+    def handoffs_abandoned(self) -> int:
+        return self._c_handoffs_abandoned.value
+
+    @property
+    def handoff_offers(self) -> int:
+        return self._c_handoff_offers.value
+
+    @property
+    def handoff_segments(self) -> int:
+        return self._c_handoff_segments.value
+
+    @property
+    def handoff_payload_bytes(self) -> int:
+        return self._c_handoff_payload.value
+
+    @property
+    def handoff_metadata_bytes(self) -> int:
+        return self._c_handoff_metadata.value
 
     # ------------------------------------------------------------------
     # Signals from the store: δ-path activity and peer reachability.
@@ -239,13 +304,13 @@ class AntiEntropyScheduler:
         self, payload_bytes: int, metadata_bytes: int, *, with_payload: bool = False
     ) -> None:
         """Account repair-path traffic that arrived at this replica."""
-        self.repair_payload_bytes += payload_bytes
-        self.repair_metadata_bytes += metadata_bytes
+        self._c_repair_payload.inc(payload_bytes)
+        self._c_repair_metadata.inc(metadata_bytes)
         if with_payload:
-            self.repairs += 1
+            self._c_repairs.inc()
 
     def note_probe(self, n: int = 1) -> None:
-        self.probes += n
+        self._c_probes.inc(n)
 
     def restore_clock(self, ticks: int) -> None:
         """Re-align the tick counter after a rebuild (crash with state loss).
@@ -327,7 +392,7 @@ class AntiEntropyScheduler:
         """Begin sourcing a shard handoff to ``dst`` (offer goes first)."""
         key = (shard, dst)
         if key not in self._handoffs:
-            self.handoffs_started += 1
+            self._c_handoffs_started.inc()
         self._handoffs[key] = {"phase": "offer", "sent": None}
 
     def note_handoff_wanted(self, shard: int, dst: int) -> None:
@@ -340,7 +405,7 @@ class AntiEntropyScheduler:
     def finish_handoff(self, shard: int, dst: int) -> bool:
         """The receiver acknowledged this handoff complete."""
         if self._handoffs.pop((shard, dst), None) is not None:
-            self.handoffs_completed += 1
+            self._c_handoffs_completed.inc()
             return True
         return False
 
@@ -355,7 +420,7 @@ class AntiEntropyScheduler:
         abandonments are the failure signal an operator reads.
         """
         if self._handoffs.pop((shard, dst), None) is not None:
-            self.handoffs_abandoned += 1
+            self._c_handoffs_abandoned.inc()
             return True
         return False
 
@@ -400,12 +465,12 @@ class AntiEntropyScheduler:
         self, payload_bytes: int, metadata_bytes: int, *, kind: str
     ) -> None:
         """Account handoff-path traffic that arrived at this replica."""
-        self.handoff_payload_bytes += payload_bytes
-        self.handoff_metadata_bytes += metadata_bytes
+        self._c_handoff_payload.inc(payload_bytes)
+        self._c_handoff_metadata.inc(metadata_bytes)
         if kind == "kv-handoff-offer":
-            self.handoff_offers += 1
+            self._c_handoff_offers.inc()
         elif kind == "kv-handoff-segment":
-            self.handoff_segments += 1
+            self._c_handoff_segments.inc()
 
     # ------------------------------------------------------------------
     # The per-tick plan.
@@ -429,6 +494,7 @@ class AntiEntropyScheduler:
           gone cold or suspect (``repair_mode == "digest"`` only).
         """
         self.tick += 1
+        self._c_ticks.inc()
         self._spent = 0
         planned: List[Tuple[int, Send]] = []
         if not self.shard_ids:
@@ -443,11 +509,11 @@ class AntiEntropyScheduler:
         served = 0
         for shard in order:
             if budget is not None and served > 0 and spent >= budget:
-                self.deferred += len(order) - served
+                self._c_deferred.inc(len(order) - served)
                 break
             sends = shards[shard].sync_messages()
             served += 1
-            self.synced += 1
+            self._c_synced.inc()
             for send in sends:
                 spent += send.message.total_bytes
                 planned.append((shard, send))
@@ -510,9 +576,16 @@ class AntiEntropyScheduler:
         return due
 
     def stats(self) -> Dict[str, int]:
-        """Counters for reports: ticks, syncs, deferrals, repair traffic."""
+        """Counters for reports: ticks, syncs, deferrals, repair traffic.
+
+        Reads the registry counters, so on a shared (cluster-owned)
+        registry the values span every store incarnation of the
+        replica.  ``ticks`` counts planning ticks actually run — unlike
+        :attr:`tick`, the protocol clock, which a rebuild re-aligns to
+        the cluster round via :meth:`restore_clock`.
+        """
         return {
-            "ticks": self.tick,
+            "ticks": self._c_ticks.value,
             "synced": self.synced,
             "deferred": self.deferred,
             "repairs": self.repairs,

@@ -57,8 +57,11 @@ from repro.kv.store import KVStore, KVUpdate, kv_store_factory
 from repro.kv.types import Schema
 from repro.lattice.base import Lattice
 from repro.lattice.map_lattice import MapLattice
-from repro.sim.network import Cluster, ClusterConfig
+from repro.obs.lag import ConvergenceProbe
+from repro.obs.metrics import MetricsRegistry
+from repro.sim.network import Cluster, ClusterConfig, _normalize_trace
 from repro.sim.topology import Topology, full_mesh
+from repro.sync.digest import digest_of, root_of
 from repro.wal import ReplicaWal, Storage, WalConfig
 
 #: Valid lose-state recovery policies (see the module docstring).
@@ -143,6 +146,11 @@ class KVCluster(Cluster):
             the simulator stays deterministic and fast; inject
             :class:`~repro.wal.FileStorage` for real segment files).
         wal_config: Log knobs (compaction threshold).
+        trace: Structured tracing (see :class:`~repro.sim.network.
+            Cluster`); here the tracer additionally reaches the stores
+            (repair escalations, handoff protocol), the WALs
+            (commit/compact/replay), and the convergence-lag probe.
+        timing: Hot-path timers; ``None`` follows ``trace``.
     """
 
     def __init__(
@@ -158,6 +166,8 @@ class KVCluster(Cluster):
         recovery: str = "repair",
         wal_storage: Optional[Callable[[int], Storage]] = None,
         wal_config: Optional[WalConfig] = None,
+        trace=None,
+        timing: Optional[bool] = None,
     ) -> None:
         if config is None:
             if topology is None:
@@ -194,6 +204,23 @@ class KVCluster(Cluster):
         self._wals: Dict[int, ReplicaWal] = {}
         self._wal_storage = wal_storage
         self._wal_config = wal_config if wal_config is not None else WalConfig()
+        # Normalized *before* super().__init__: the store factory below
+        # closes over the tracer, and the base constructor builds every
+        # store.  Passing the built Tracer up keeps one shared instance.
+        kv_tracer = _normalize_trace(trace)
+        #: Per-replica metrics registries.  Like the WALs, these are
+        #: keyed by index and *never* dropped on a rebuild — counters
+        #: use get-or-create, so a store incarnation lost to
+        #: ``crash(lose_state=True)`` leaves its counts behind and the
+        #: rebuilt store keeps incrementing them.  This is what lets
+        #: :meth:`scheduler_stats` sum whole-run traffic without any
+        #: retired-counter bookkeeping.
+        self._registries: Dict[int, MetricsRegistry] = {}
+        #: Convergence-lag probe: open per-shard disagreement windows,
+        #: measured in rounds (``None`` when tracing is off).
+        self._lag_probe: Optional[ConvergenceProbe] = (
+            ConvergenceProbe() if kv_tracer is not None else None
+        )
         factory = kv_store_factory(
             # A provider, not the ring object: a store rebuilt after a
             # live rebalance must open on the *current* placement.
@@ -202,12 +229,24 @@ class KVCluster(Cluster):
             schema=schema,
             antientropy=antientropy,
             wal_provider=self._wal_for if recovery != "repair" else None,
+            registry_provider=self._registry_for,
+            tracer=kv_tracer,
         )
-        #: Scheduler counters of store incarnations lost to
-        #: ``crash(lose_state=True)``, so cluster-wide accounting
-        #: (repair bytes, probes) survives rebuilds.
-        self._retired_scheduler_stats: dict = {}
-        super().__init__(config, factory, MapLattice(), transport=transport)
+        super().__init__(
+            config,
+            factory,
+            MapLattice(),
+            transport=transport,
+            trace=kv_tracer,
+            timing=timing,
+        )
+
+    def _registry_for(self, replica: int) -> MetricsRegistry:
+        registry = self._registries.get(replica)
+        if registry is None:
+            registry = MetricsRegistry()
+            self._registries[replica] = registry
+        return registry
 
     def _wal_for(self, replica: int) -> ReplicaWal:
         wal = self._wals.get(replica)
@@ -215,21 +254,14 @@ class KVCluster(Cluster):
             storage = (
                 self._wal_storage(replica) if self._wal_storage is not None else None
             )
-            wal = ReplicaWal(replica, storage=storage, config=self._wal_config)
+            wal = ReplicaWal(
+                replica,
+                storage=storage,
+                config=self._wal_config,
+                tracer=self.tracer,
+            )
             self._wals[replica] = wal
         return wal
-
-    def crash(self, node: int, lose_state: bool = False) -> None:
-        if not 0 <= node < self.topology.n:
-            raise ValueError(f"no such node {node}")
-        if lose_state:
-            store = self.nodes[node]
-            assert isinstance(store, KVStore)
-            for key, value in store.scheduler.stats().items():
-                self._retired_scheduler_stats[key] = (
-                    self._retired_scheduler_stats.get(key, 0) + value
-                )
-        super().crash(node, lose_state)
 
     def _restore_for(self, node: int):
         """WAL recovery: replay the surviving log into the fresh store."""
@@ -387,6 +419,18 @@ class KVCluster(Cluster):
             if source not in new_ring.shard_owners(shard):
                 retain.setdefault(source, set()).add(shard)
         self.ring = new_ring
+        if self.tracer is not None:
+            self.tracer.emit(
+                "ring-change",
+                extra={
+                    "added": added,
+                    "removed": removed,
+                    "moved_shards": len(moved),
+                    "transfers": len(transfers),
+                    "unsourced": len(unsourced),
+                    "replicas": sorted(new_ring.replicas),
+                },
+            )
         for node in range(self.topology.n):
             self.runtimes[node].apply_ring(
                 new_ring,
@@ -456,6 +500,36 @@ class KVCluster(Cluster):
             )
         return rounds
 
+    def run_round(self, updates=None) -> None:
+        super().run_round(updates)
+        if self._lag_probe is not None:
+            self._sample_lag()
+
+    def _sample_lag(self) -> None:
+        """Feed per-shard root-hash agreement into the lag probe.
+
+        Agreement is judged the same way digest repair's cheapest rung
+        does — equal Merkle roots over the shard's irreducible digest —
+        so a ``lag`` event of *n* rounds means digest probes would have
+        seen divergence for exactly that window.  Runs only when
+        tracing is on; it walks every shard's state each round.
+        """
+        agreement: Dict[int, bool] = {}
+        for shard in range(self.ring.n_shards):
+            roots = set()
+            for owner in self.ring.shard_owners(shard):
+                if owner in self.down:
+                    continue
+                inner = self.nodes[owner].shards.get(shard)
+                if inner is not None:
+                    roots.add(root_of(digest_of(inner.state)))
+            agreement[shard] = len(roots) <= 1
+        round_index = self.rounds_run - 1
+        for shard, lag in self._lag_probe.observe(round_index, agreement):
+            self.tracer.emit(
+                "lag", round=round_index, shard=shard, extra={"rounds": lag}
+            )
+
     # ------------------------------------------------------------------
     # Smart-client request routing.
     # ------------------------------------------------------------------
@@ -522,16 +596,19 @@ class KVCluster(Cluster):
 
         Includes the repair-byte accounting (``repair_payload_bytes``,
         ``repair_metadata_bytes``, ``probes``, ``repairs``) that the
-        repair-mode comparisons measure, plus the counters of store
-        incarnations lost to ``crash(lose_state=True)`` — so ``ticks``
-        sums over incarnations, while traffic counters equal what was
-        actually observed across the whole run.
+        repair-mode comparisons measure.  A thin adapter over the
+        per-replica metrics registries: the registries — like the WALs
+        — survive ``crash(lose_state=True)`` rebuilds, so the sums
+        cover the whole run across store incarnations with no retired-
+        counter bookkeeping.
         """
-        totals: dict = dict(self._retired_scheduler_stats)
-        for node in self.nodes:
-            assert isinstance(node, KVStore)
-            for key, value in node.scheduler.stats().items():
-                totals[key] = totals.get(key, 0) + value
+        totals: dict = {}
+        prefix = "scheduler."
+        for registry in self._registries.values():
+            for name, value in registry.snapshot().items():
+                if name.startswith(prefix):
+                    key = name[len(prefix):]
+                    totals[key] = totals.get(key, 0) + value
         return totals
 
     def wal_stats(self) -> dict:

@@ -78,6 +78,8 @@ from repro.kv.ring import HashRing
 from repro.kv.types import Schema, TypeSpec
 from repro.lattice.base import Lattice
 from repro.lattice.map_lattice import MapLattice
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Tracer
 from repro.sizes import SizeModel, DEFAULT_SIZE_MODEL
 from repro.sync.digest import (
     FINGERPRINT_BYTES,
@@ -171,6 +173,8 @@ class KVStore(Synchronizer):
         schema: Optional[Schema] = None,
         antientropy: Optional[AntiEntropyConfig] = None,
         wal: Optional[ReplicaWal] = None,
+        registry: Optional[MetricsRegistry] = None,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         if not isinstance(bottom, MapLattice) or not bottom.is_bottom:
             raise TypeError("a KVStore keyspace starts from an empty MapLattice")
@@ -198,6 +202,13 @@ class KVStore(Synchronizer):
         #: not place here — in-flight traffic outrun by a rebalance.
         self.stale_shard_messages = 0
         self.schema = schema if schema is not None else Schema()
+        #: This replica's metrics registry — the single observability
+        #: namespace the runtime's ``metrics`` view exposes.  A cluster
+        #: passes one that outlives store rebuilds; standalone stores
+        #: get a private one.
+        self.registry = registry if registry is not None else MetricsRegistry()
+        #: Structured trace destination (``None`` = tracing off).
+        self.tracer = tracer
         config = antientropy if antientropy is not None else AntiEntropyConfig()
         owned = ring.shards_owned_by(replica)
         #: shard id → this replica's synchronizer for that shard.
@@ -208,8 +219,13 @@ class KVStore(Synchronizer):
             self.shards[shard] = self._make_inner(peers)
             shard_peers[shard] = peers
         self.scheduler = AntiEntropyScheduler(
-            config, owned, shard_peers, replica=replica
+            config, owned, shard_peers, replica=replica, registry=self.registry
         )
+        if self.wal is not None:
+            # Read-through: wal counters surface in registry snapshots
+            # under ``wal.*`` without being double-kept (re-registering
+            # after a rebuild just re-binds the same surviving log).
+            self.registry.register_view("wal", self.wal.stats)
 
     def _shard_peers_checked(self, shard: int, ring: HashRing) -> Tuple[int, ...]:
         """The shard's co-owners, verified reachable over the overlay."""
@@ -466,6 +482,20 @@ class KVStore(Synchronizer):
                 with_payload=not delta.is_bottom,
             )
             absorbed = inner.absorb_state(delta, src)
+            if self.tracer is not None:
+                self.tracer.emit(
+                    "repair-absorb",
+                    replica=self.replica,
+                    shard=shard,
+                    peer=src,
+                    payload_bytes=message.payload_bytes,
+                    metadata_bytes=message.metadata_bytes,
+                    payload_units=message.payload_units,
+                    extra={
+                        "absorbed": not absorbed.is_bottom,
+                        "echo": echo is not None,
+                    },
+                )
             if not absorbed.is_bottom:
                 self.scheduler.note_delta_activity(shard, src)
                 self._wal_append(shard, absorbed)
@@ -479,7 +509,17 @@ class KVStore(Synchronizer):
             self.scheduler.note_probe()
             self.scheduler.note_repair_traffic(0, message.metadata_bytes)
             digest = digest_of(inner.state)
-            if root_of(digest) == message.payload:
+            match = root_of(digest) == message.payload
+            if self.tracer is not None:
+                self.tracer.emit(
+                    "repair-probe",
+                    replica=self.replica,
+                    shard=shard,
+                    peer=src,
+                    metadata_bytes=message.metadata_bytes,
+                    extra={"match": match},
+                )
+            if match:
                 # In sync with the prober: refresh the δ-path clock so
                 # we do not immediately counter-probe a healthy pair.
                 self.scheduler.note_delta_activity(shard, src)
@@ -496,6 +536,15 @@ class KVStore(Synchronizer):
         # digest so it can answer with the reverse delta.  One
         # decomposition pass computes both.
         self.scheduler.note_repair_traffic(0, message.metadata_bytes)
+        if self.tracer is not None:
+            self.tracer.emit(
+                "repair-diff",
+                replica=self.replica,
+                shard=shard,
+                peer=src,
+                metadata_bytes=message.metadata_bytes,
+                metadata_units=message.metadata_units,
+            )
         echo, delta = digest_and_missing(inner.state, message.payload)
         return self._repair_message(shard, src, delta, echo=echo)
 
@@ -663,6 +712,15 @@ class KVStore(Synchronizer):
             self.scheduler.note_handoff_traffic(
                 0, message.metadata_bytes, kind=message.kind
             )
+            if self.tracer is not None:
+                self.tracer.emit(
+                    "handoff-ack",
+                    replica=self.replica,
+                    shard=shard,
+                    peer=src,
+                    metadata_bytes=message.metadata_bytes,
+                    extra={"complete": complete, "rooted": root is not None},
+                )
             if complete:
                 # Fence only on an ack that carries the receiver's root
                 # — proof a replica now durably holds the content.  A
@@ -687,6 +745,15 @@ class KVStore(Synchronizer):
             self.scheduler.note_handoff_traffic(
                 0, message.metadata_bytes, kind=message.kind
             )
+            if self.tracer is not None:
+                self.tracer.emit(
+                    "handoff-offer",
+                    replica=self.replica,
+                    shard=shard,
+                    peer=src,
+                    metadata_bytes=message.metadata_bytes,
+                    extra={"gaining": inner is not None},
+                )
             if inner is None:
                 # The ring moved again and this replica is no longer
                 # the gaining owner; complete so the source can fence.
@@ -703,6 +770,17 @@ class KVStore(Synchronizer):
         self.scheduler.note_handoff_traffic(
             message.payload_bytes, message.metadata_bytes, kind=message.kind
         )
+        if self.tracer is not None:
+            self.tracer.emit(
+                "handoff-segment",
+                replica=self.replica,
+                shard=shard,
+                peer=src,
+                payload_bytes=message.payload_bytes,
+                metadata_bytes=message.metadata_bytes,
+                payload_units=message.payload_units,
+                extra={"records": len(message.payload), "gaining": inner is not None},
+            )
         if inner is None:
             self.stale_shard_messages += 1
             return self._handoff_ack(True, None)
@@ -723,6 +801,8 @@ class KVStore(Synchronizer):
 
     def _fence_now(self, shard: int) -> None:
         """Seal a disowned shard's log so a re-add cannot resurrect it."""
+        if self.tracer is not None:
+            self.tracer.emit("handoff-fence", replica=self.replica, shard=shard)
         if self.wal is not None:
             self.wal.fence(shard)
 
@@ -894,6 +974,8 @@ def kv_store_factory(
     schema: Optional[Schema] = None,
     antientropy: Optional[AntiEntropyConfig] = None,
     wal_provider=None,
+    registry_provider=None,
+    tracer: Optional[Tracer] = None,
 ):
     """Bind store parameters into a cluster-compatible node factory.
 
@@ -911,6 +993,12 @@ def kv_store_factory(
     :class:`~repro.wal.ReplicaWal`; it is a callable (not a dict) so
     a store rebuilt after ``crash(lose_state=True)`` reattaches to the
     *same* log object its predecessor wrote.
+
+    ``registry_provider`` plays the same role for the replica's
+    :class:`~repro.obs.metrics.MetricsRegistry` — the rebuilt store
+    re-binds to the counters its predecessor incremented — and
+    ``tracer`` (one per cluster, not per replica) threads the
+    structured trace into every store built.
     """
 
     def factory(
@@ -931,6 +1019,10 @@ def kv_store_factory(
             schema=schema,
             antientropy=antientropy,
             wal=wal_provider(replica) if wal_provider is not None else None,
+            registry=(
+                registry_provider(replica) if registry_provider is not None else None
+            ),
+            tracer=tracer,
         )
 
     inner_name = getattr(inner_factory, "name", getattr(inner_factory, "__name__", "?"))

@@ -27,6 +27,8 @@ from repro.sync.protocol import DeltaMutator, Message, Synchronizer
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.net.transport import Transport
+    from repro.obs.metrics import MetricsRegistry
+    from repro.obs.timing import HotPathTimers
 
 
 class ReplicaRuntime:
@@ -34,23 +36,38 @@ class ReplicaRuntime:
 
     Args:
         synchronizer: The protocol instance this runtime owns.
-        metrics: Shared collector for processing-cost records
+        collector: Shared collector for processing-cost records
             (``None`` disables processing accounting).
     """
 
     def __init__(
         self,
         synchronizer: Synchronizer,
-        metrics: Optional[MetricsCollector] = None,
+        collector: Optional[MetricsCollector] = None,
     ) -> None:
         self.synchronizer = synchronizer
-        self.metrics = metrics
+        self.collector = collector
         self.transport: Optional["Transport"] = None
+        #: Hot-path timers, attached by the cluster when timing is on;
+        #: ``None`` means off and costs one attribute check per event.
+        self.timers: Optional["HotPathTimers"] = None
 
     @property
     def replica(self) -> int:
         """This runtime's replica index (the synchronizer's identity)."""
         return self.synchronizer.replica
+
+    @property
+    def metrics(self) -> Optional["MetricsRegistry"]:
+        """This replica's metrics registry, when its protocol keeps one.
+
+        The sharded kv store binds its scheduler counters (and a WAL
+        view) into a per-replica :class:`~repro.obs.metrics.
+        MetricsRegistry`; plain synchronizers have none.  This is the
+        single observability surface per replica — the cluster-level
+        ``scheduler_stats()``/``wal_stats()`` adapters read through it.
+        """
+        return getattr(self.synchronizer, "registry", None)
 
     def attach(self, transport: "Transport") -> None:
         """Bind the transport outbound sends go through."""
@@ -65,7 +82,7 @@ class ReplicaRuntime:
         started = _time.perf_counter()
         delta = self.synchronizer.local_update(delta_mutator)
         elapsed = _time.perf_counter() - started
-        self._record(delta.size_units(), elapsed)
+        self._record("runtime.local_update", delta.size_units(), elapsed)
         return delta
 
     def tick(self) -> None:
@@ -74,7 +91,7 @@ class ReplicaRuntime:
         sends = self.synchronizer.sync_messages()
         elapsed = _time.perf_counter() - started
         produced = sum(send.message.payload_units for send in sends)
-        self._record(produced, elapsed)
+        self._record("runtime.tick", produced, elapsed)
         self._send(sends)
 
     def deliver(self, src: int, message: Message) -> None:
@@ -82,12 +99,15 @@ class ReplicaRuntime:
         started = _time.perf_counter()
         replies = self.synchronizer.handle_message(src, message)
         elapsed = _time.perf_counter() - started
-        self._record(message.payload_units, elapsed)
+        self._record("runtime.deliver", message.payload_units, elapsed)
         self._send(replies)
 
     def absorb_state(self, state: Lattice, src: Optional[int] = None) -> Lattice:
         """Route out-of-band repair content through the protocol hook."""
-        return self.synchronizer.absorb_state(state, src)
+        if self.timers is None:
+            return self.synchronizer.absorb_state(state, src)
+        with self.timers.span("runtime.absorb_state", units=state.size_units()):
+            return self.synchronizer.absorb_state(state, src)
 
     # ------------------------------------------------------------------
     # Fault signals and lifecycle.
@@ -156,9 +176,14 @@ class ReplicaRuntime:
             )
         self.transport.send(self.replica, sends)
 
-    def _record(self, units: int, seconds: float) -> None:
-        if self.metrics is not None:
-            self.metrics.record_processing(self.replica, units, seconds)
+    def _record(self, name: str, units: int, seconds: float) -> None:
+        # One perf_counter span feeds both sinks: the collector's
+        # per-node processing aggregate and (when enabled) the named
+        # hot-path timer — enabling timers never adds a clock read.
+        if self.collector is not None:
+            self.collector.record_processing(self.replica, units, seconds)
+        if self.timers is not None:
+            self.timers.record(name, units, seconds)
 
     def __repr__(self) -> str:
         return (

@@ -70,6 +70,8 @@ class SimTransport(Transport):
         self.queue.run(until=end_of_round)
         self.sample_memory(end_of_round)
         self._round += 1
+        if self.tracer is not None:
+            self.tracer.emit("round", round=self._round - 1, time=end_of_round)
 
     @property
     def rounds_run(self) -> int:
@@ -105,7 +107,9 @@ class SimTransport(Transport):
             # The destination crashed — or the link was severed — while
             # the message was in flight.
             self.messages_severed += 1
+            self._trace_severed(src, dst, message.kind)
             return
+        self._trace_deliver(src, dst, message.kind)
         self.runtimes[dst].deliver(src, message)
 
     # ------------------------------------------------------------------

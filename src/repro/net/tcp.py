@@ -154,14 +154,20 @@ class AsyncTcpTransport(Transport):
 
     def _deliver_frame(self, src: int, dst: int, data: bytes) -> None:
         try:
-            message = decode_message(data)
+            if self.timers is not None:
+                with self.timers.span("tcp.decode"):
+                    message = decode_message(data)
+            else:
+                message = decode_message(data)
             if not self.link_up(src, dst):
                 # Defensive only: faults are injected between rounds
                 # and rounds settle to quiescence, so under the current
                 # driver no frame is ever caught in flight (see module
                 # docstring).  Kept for a future free-running mode.
                 self.messages_severed += 1
+                self._trace_severed(src, dst, message.kind)
             else:
+                self._trace_deliver(src, dst, message.kind)
                 self.runtimes[dst].deliver(src, message)
         finally:
             self._pending -= 1
@@ -177,7 +183,13 @@ class AsyncTcpTransport(Transport):
         for send in sends:
             if not self._admit(src, send):
                 continue
-            frame = frame_message(send.message)
+            if self.timers is not None:
+                with self.timers.span(
+                    "tcp.encode", units=send.message.total_units
+                ):
+                    frame = frame_message(send.message)
+            else:
+                frame = frame_message(send.message)
             if not self._transmit(
                 src,
                 send,
@@ -219,6 +231,8 @@ class AsyncTcpTransport(Transport):
         self._loop.run_until_complete(self._settle())
         self.sample_memory(self.now)
         self._round += 1
+        if self.tracer is not None:
+            self.tracer.emit("round", round=self._round - 1)
 
     async def _settle(self) -> None:
         """Flush the outbox and wait until no frame is in flight."""

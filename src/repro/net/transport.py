@@ -52,6 +52,8 @@ from repro.sync.protocol import DeltaMutator, Send
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.net.runtime import ReplicaRuntime
+    from repro.obs.timing import HotPathTimers
+    from repro.obs.trace import Tracer
     from repro.sim.network import ClusterConfig
 
 
@@ -90,6 +92,13 @@ class Transport(ABC):
         self.down: set = set()
         #: Active partition as disjoint node groups (``None`` = healthy).
         self._groups: Optional[Tuple[FrozenSet[int], ...]] = None
+        #: Structured trace sink, attached by the cluster when tracing
+        #: is enabled.  ``None`` (the default) must stay ``None`` — a
+        #: single attribute check is the entire disabled-tracing cost.
+        self.tracer: Optional["Tracer"] = None
+        #: Hot-path timers, attached alongside the tracer; same
+        #: ``None``-means-off contract.
+        self.timers: Optional["HotPathTimers"] = None
         #: Per-edge loss streams, created lazily by :meth:`_edge_rng`.
         #: The k-th flip on edge ``(src, dst)`` is a pure function of
         #: ``(loss_seed, src, dst, k)`` — never of the order the
@@ -157,10 +166,14 @@ class Transport(ABC):
         if not 0 <= node < self.topology.n:
             raise ValueError(f"no such node {node}")
         self.down.add(node)
+        if self.tracer is not None:
+            self.tracer.emit("crash", replica=node)
 
     def recover(self, node: int) -> None:
         """Bring a crashed node back into the cluster."""
         self.down.discard(node)
+        if self.tracer is not None:
+            self.tracer.emit("recover", replica=node)
 
     def partition(self, *groups: Iterable[int]) -> None:
         """Sever every link between nodes of different ``groups``.
@@ -181,10 +194,17 @@ class Transport(ABC):
         if rest:
             explicit.append(rest)
         self._groups = tuple(explicit)
+        if self.tracer is not None:
+            self.tracer.emit(
+                "partition",
+                extra={"groups": [sorted(group) for group in self._groups]},
+            )
 
     def heal(self) -> None:
         """Restore full connectivity (crashed nodes stay down)."""
         self._groups = None
+        if self.tracer is not None:
+            self.tracer.emit("heal")
 
     @property
     def partitioned(self) -> bool:
@@ -231,6 +251,13 @@ class Transport(ABC):
             # into divergence-driven repair scheduling.
             self.messages_blocked += 1
             self.runtimes[src].note_send_blocked(send.dst)
+            if self.tracer is not None:
+                self.tracer.emit(
+                    "send-blocked",
+                    replica=src,
+                    peer=send.dst,
+                    kind=send.message.kind,
+                )
             return False
         return True
 
@@ -257,11 +284,32 @@ class Transport(ABC):
                 metadata_units=send.message.metadata_units,
             )
         )
+        if self.tracer is not None:
+            # Emitted at the same point — before the loss coin flip —
+            # with the same byte arguments as the MessageRecord above,
+            # so trace-derived totals equal collector totals exactly.
+            self.tracer.emit(
+                "send",
+                replica=src,
+                peer=send.dst,
+                kind=send.message.kind,
+                payload_bytes=payload_bytes,
+                metadata_bytes=metadata_bytes,
+                payload_units=send.message.payload_units,
+                metadata_units=send.message.metadata_units,
+            )
         if (
             self.config.loss_rate > 0.0
             and self._edge_rng(src, send.dst).random() < self.config.loss_rate
         ):
             self.messages_dropped += 1
+            if self.tracer is not None:
+                self.tracer.emit(
+                    "message-dropped",
+                    replica=src,
+                    peer=send.dst,
+                    kind=send.message.kind,
+                )
             return False
         return True
 
@@ -284,6 +332,22 @@ class Transport(ABC):
             )
             self._edge_rngs[(src, dst)] = rng
         return rng
+
+    def _trace_deliver(self, src: int, dst: int, kind: str) -> None:
+        """Emit the delivery event both transports share.
+
+        Byte accounting lives on the ``send`` event (the transmission
+        record); delivery events only attribute *arrival* — who got
+        what kind, when — so the trace can show one-way latency and
+        undelivered tails without double-counting bytes.
+        """
+        if self.tracer is not None:
+            self.tracer.emit("deliver", replica=dst, peer=src, kind=kind)
+
+    def _trace_severed(self, src: int, dst: int, kind: str) -> None:
+        """Emit the in-flight-kill event both transports share."""
+        if self.tracer is not None:
+            self.tracer.emit("message-severed", replica=src, peer=dst, kind=kind)
 
     def sample_memory(self, at: float) -> None:
         """Record one resident-footprint sample per live replica."""

@@ -1,0 +1,61 @@
+"""Observability for the replica stack: traces, metrics, timers, lag.
+
+Four pieces, all optional and all off by default:
+
+* :mod:`repro.obs.trace` — the structured JSONL event stream
+  (:class:`Tracer` writing to a :class:`TraceSink`);
+* :mod:`repro.obs.metrics` — the per-replica
+  :class:`MetricsRegistry` of counters/gauges/histograms that the
+  scheduler and WAL stats now live in;
+* :mod:`repro.obs.timing` — :class:`HotPathTimers` around
+  tick/encode/decode/absorb;
+* :mod:`repro.obs.lag` — the :class:`ConvergenceProbe` sampling
+  per-shard root-hash agreement;
+* :mod:`repro.obs.report` — post-processing that re-derives the
+  experiment tables from a trace file alone.
+"""
+
+from repro.obs.lag import ConvergenceProbe
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.report import (
+    kind_totals,
+    render_report,
+    segment_phases,
+    split_cells,
+    trace_totals,
+)
+from repro.obs.timing import HotPathTimers
+from repro.obs.trace import (
+    EVENT_TYPES,
+    FileTraceSink,
+    MemoryTraceSink,
+    TraceEvent,
+    Tracer,
+    TraceSink,
+    decode_event,
+    encode_event,
+    read_trace,
+)
+
+__all__ = [
+    "ConvergenceProbe",
+    "Counter",
+    "EVENT_TYPES",
+    "FileTraceSink",
+    "Gauge",
+    "Histogram",
+    "HotPathTimers",
+    "MemoryTraceSink",
+    "MetricsRegistry",
+    "TraceEvent",
+    "TraceSink",
+    "Tracer",
+    "decode_event",
+    "encode_event",
+    "kind_totals",
+    "read_trace",
+    "render_report",
+    "segment_phases",
+    "split_cells",
+    "trace_totals",
+]

@@ -1,0 +1,77 @@
+"""Convergence-lag probe: how long shards stay divergent, in rounds.
+
+The paper's evaluation runs traffic, then drains to convergence and
+reports totals.  A free-running runtime has no drain phase — its
+quality metric is *lag*: when replicas of a shard disagree, how many
+rounds pass before their root hashes agree again?  This probe samples
+per-shard agreement after every round (the cluster computes agreement
+cheaply from the digest roots it already knows how to build) and turns
+the boolean stream into closed lag windows and a distribution.
+
+A lag window opens at the first sampled round where a shard's owners
+disagree and closes at the first subsequent round where they agree
+again; the lag is the number of rounds the window spanned.  Windows
+still open when sampling stops are reported separately — an unconverged
+run should look unconverged, not drop its worst data points.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Tuple
+
+
+class ConvergenceProbe:
+    """Tracks per-shard disagreement windows across sampled rounds."""
+
+    def __init__(self) -> None:
+        #: shard → round its open disagreement window started at.
+        self._open: Dict[int, int] = {}
+        #: closed windows as (shard, started_round, lag_rounds).
+        self.closed: List[Tuple[int, int, int]] = []
+
+    def observe(
+        self, round: int, agreement: Mapping[int, bool]
+    ) -> List[Tuple[int, int]]:
+        """Fold in one round's per-shard agreement sample.
+
+        Args:
+            round: The round just completed.
+            agreement: ``{shard: all_owners_agree}`` for every shard
+                sampled this round.
+
+        Returns:
+            The windows that closed this round, as ``(shard, lag)`` —
+            the caller emits one trace event per closed window.
+        """
+        newly_closed: List[Tuple[int, int]] = []
+        for shard, agreed in agreement.items():
+            started = self._open.get(shard)
+            if agreed:
+                if started is not None:
+                    lag = round - started
+                    del self._open[shard]
+                    self.closed.append((shard, started, lag))
+                    newly_closed.append((shard, lag))
+            elif started is None:
+                self._open[shard] = round
+        return newly_closed
+
+    def open_lags(self, round: int) -> Dict[int, int]:
+        """Still-diverged shards and their lag so far at ``round``."""
+        return {shard: round - started for shard, started in self._open.items()}
+
+    def distribution(self) -> Dict[str, float]:
+        """Count / mean / max / p50 / p95 over the closed lags."""
+        lags = sorted(lag for _, _, lag in self.closed)
+        if not lags:
+            return {"count": 0, "mean": 0.0, "max": 0, "p50": 0, "p95": 0}
+        return {
+            "count": len(lags),
+            "mean": sum(lags) / len(lags),
+            "max": lags[-1],
+            "p50": lags[(len(lags) - 1) // 2],
+            "p95": lags[min(len(lags) - 1, (len(lags) * 95) // 100)],
+        }
+
+    def __repr__(self) -> str:
+        return f"ConvergenceProbe(closed={len(self.closed)}, open={len(self._open)})"

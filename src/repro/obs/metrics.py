@@ -1,0 +1,166 @@
+"""The metrics registry: named counters, gauges, and histograms.
+
+Before this module, every layer kept its own ad-hoc counter dicts —
+the anti-entropy scheduler's ``stats()``, the WAL's ``stats()``, the
+cluster's retired-counter bookkeeping for rebuilt replicas — and the
+experiment drivers stitched them together by key convention.  The
+registry replaces that with one namespace per replica:
+
+* instruments are **created once and found again**: asking for an
+  existing name returns the same object, which is what lets a store
+  rebuilt by ``crash(lose_state=True)`` re-bind to the counters its
+  predecessor incremented instead of resetting them (the registry,
+  like the WAL, deliberately outlives the store incarnation);
+* ``snapshot()`` is **deterministic**: names are sorted, values are
+  plain numbers, and registered *views* (read-through adapters over
+  legacy counter dicts, e.g. the WAL's) are merged under their prefix —
+  so two seeded runs produce byte-identical exports.
+
+The instruments are deliberately minimal — this is measurement for a
+deterministic reproduction, not a live telemetry pipeline.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Mapping, Union
+
+Number = Union[int, float]
+
+
+class Counter:
+    """A monotonically increasing integer."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        if n < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease (inc {n})")
+        self.value += n
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name!r}, value={self.value})"
+
+
+class Gauge:
+    """A point-in-time numeric value (goes up and down)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: Number = 0
+
+    def set(self, value: Number) -> None:
+        self.value = value
+
+    def __repr__(self) -> str:
+        return f"Gauge({self.name!r}, value={self.value})"
+
+
+class Histogram:
+    """Summary statistics of observed values (count/sum/min/max).
+
+    Full distributions live in the trace (every event carries its own
+    measurements); the histogram keeps only the aggregates a snapshot
+    export needs, so enabling metrics never grows memory with the run.
+    """
+
+    __slots__ = ("name", "count", "total", "min", "max")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.count = 0
+        self.total: Number = 0
+        self.min: Number = 0
+        self.max: Number = 0
+
+    def observe(self, value: Number) -> None:
+        if self.count == 0 or value < self.min:
+            self.min = value
+        if self.count == 0 or value > self.max:
+            self.max = value
+        self.count += 1
+        self.total += value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def __repr__(self) -> str:
+        return f"Histogram({self.name!r}, count={self.count}, mean={self.mean:.3g})"
+
+
+class MetricsRegistry:
+    """One replica's instrument namespace, surviving store rebuilds."""
+
+    def __init__(self) -> None:
+        self._instruments: Dict[str, object] = {}
+        #: prefix → zero-arg callable returning a counter dict; merged
+        #: into snapshots read-through, so legacy ``stats()`` surfaces
+        #: (the WAL's) appear in the registry without double-keeping.
+        self._views: Dict[str, Callable[[], Mapping[str, Number]]] = {}
+
+    def _get(self, name: str, kind: type):
+        instrument = self._instruments.get(name)
+        if instrument is None:
+            instrument = kind(name)
+            self._instruments[name] = instrument
+        elif type(instrument) is not kind:
+            raise TypeError(
+                f"metric {name!r} is a {type(instrument).__name__}, "
+                f"not a {kind.__name__}"
+            )
+        return instrument
+
+    def counter(self, name: str) -> Counter:
+        """Get-or-create the named counter."""
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        """Get-or-create the named gauge."""
+        return self._get(name, Gauge)
+
+    def histogram(self, name: str) -> Histogram:
+        """Get-or-create the named histogram."""
+        return self._get(name, Histogram)
+
+    def register_view(
+        self, prefix: str, provider: Callable[[], Mapping[str, Number]]
+    ) -> None:
+        """Merge ``provider()`` under ``prefix.`` at snapshot time.
+
+        Re-registering a prefix replaces the provider — a rebuilt store
+        re-binding its (surviving) WAL view is the expected case.
+        """
+        self._views[prefix] = provider
+
+    def names(self) -> List[str]:
+        return sorted(self._instruments)
+
+    def snapshot(self) -> Dict[str, Number]:
+        """Every instrument and view as ``{name: value}``, sorted.
+
+        Histograms export as ``name.count`` / ``name.sum`` /
+        ``name.min`` / ``name.max`` so the result stays a flat mapping
+        of plain numbers.
+        """
+        out: Dict[str, Number] = {}
+        for name, instrument in self._instruments.items():
+            if isinstance(instrument, Histogram):
+                out[f"{name}.count"] = instrument.count
+                out[f"{name}.sum"] = instrument.total
+                out[f"{name}.min"] = instrument.min
+                out[f"{name}.max"] = instrument.max
+            else:
+                out[name] = instrument.value  # type: ignore[attr-defined]
+        for prefix, provider in self._views.items():
+            for key, value in provider().items():
+                out[f"{prefix}.{key}"] = value
+        return dict(sorted(out.items()))
+
+    def __repr__(self) -> str:
+        return f"MetricsRegistry(instruments={len(self._instruments)})"

@@ -1,0 +1,84 @@
+"""Hot-path timers: wall-clock plus the paper's element-count proxy.
+
+The runtimes already measure ``perf_counter`` spans around tick,
+deliver, and local_update to feed :class:`repro.sim.metrics
+.MetricsCollector`'s processing aggregates.  :class:`HotPathTimers`
+collects the same measurements *by name* — ``runtime.tick``,
+``tcp.encode``, ``store.absorb`` — so a trace report can show where
+the milliseconds went, not just that they were spent.
+
+Two accounting dimensions per timer, matching the paper's evaluation:
+wall-clock seconds (what the host actually burned) and element-count
+units (the machine-independent processing proxy of Section V-B.4).
+
+Off by default and zero-cost when off: instrumented objects hold a
+``timers`` attribute that is ``None``, and every call site is guarded
+by that single attribute check — no null-object indirection on the
+hot path.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from time import perf_counter
+from typing import Dict, Iterator
+
+
+class _Timer:
+    __slots__ = ("calls", "seconds", "units")
+
+    def __init__(self) -> None:
+        self.calls = 0
+        self.seconds = 0.0
+        self.units = 0
+
+
+class HotPathTimers:
+    """Named (calls, seconds, units) accumulators."""
+
+    def __init__(self) -> None:
+        self._timers: Dict[str, _Timer] = {}
+
+    def record(self, name: str, units: int, seconds: float) -> None:
+        """Fold one already-measured span into ``name``'s totals.
+
+        The runtimes call this with the ``perf_counter`` spans they
+        already take for the metrics collector, so enabling timers
+        adds bookkeeping, never a second clock read.
+        """
+        timer = self._timers.get(name)
+        if timer is None:
+            timer = self._timers[name] = _Timer()
+        timer.calls += 1
+        timer.seconds += seconds
+        timer.units += units
+
+    @contextmanager
+    def span(self, name: str, units: int = 0) -> Iterator[None]:
+        """Time a block that has no pre-existing measurement.
+
+        Used where no collector measurement exists to reuse — TCP frame
+        encode/decode, store-level state absorption.
+        """
+        start = perf_counter()
+        try:
+            yield
+        finally:
+            self.record(name, units, perf_counter() - start)
+
+    def snapshot(self) -> Dict[str, Dict[str, float]]:
+        """``{name: {calls, seconds, units}}``, names sorted."""
+        return {
+            name: {
+                "calls": timer.calls,
+                "seconds": timer.seconds,
+                "units": timer.units,
+            }
+            for name, timer in sorted(self._timers.items())
+        }
+
+    def __len__(self) -> int:
+        return len(self._timers)
+
+    def __repr__(self) -> str:
+        return f"HotPathTimers(names={sorted(self._timers)})"

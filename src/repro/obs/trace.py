@@ -1,0 +1,305 @@
+"""The structured trace: an append-only JSONL stream of typed events.
+
+The metrics registry (:mod:`repro.obs.metrics`) answers *how much* —
+total repair bytes, handoff segments, WAL commits.  The trace answers
+*why*: every byte that moves is attributable to an event — a scheduled
+sync send, a digest probe that missed, a handoff segment, a WAL replay —
+each stamped with the replica, shard, round, and wall-clock time it
+happened at.  The experiment tables can therefore be *re-derived from
+the trace file alone* and cross-checked against the live counters,
+which is the property the integration tests pin down.
+
+Design mirrors :mod:`repro.wal.storage`: a tiny :class:`TraceSink`
+interface with a memory backend for the deterministic tests and a file
+backend for real runs, written against by a single :class:`Tracer`
+front-end that the cluster threads through every layer.  Tracing is
+**off by default and zero-cost when off**: call sites hold ``tracer``
+attributes that are simply ``None``, guarded by one attribute check —
+no no-op object, no dormant format strings.
+
+One line of the stream is one event, encoded as compact JSON with
+sorted keys and defaults omitted, so seeded runs produce byte-identical
+trace files.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field, fields
+from typing import Any, Callable, Dict, Iterable, List, Optional, Union
+
+#: Every event type the stack can emit.  ``decode_event`` accepts
+#: unknown types (forward compatibility for readers of old traces), but
+#: ``Tracer.emit`` rejects them — a typo in an emission site should fail
+#: the test that exercises it, not silently pollute the stream.
+EVENT_TYPES = (
+    # transport
+    "round",            # a synchronization round completed
+    "send",             # a message admitted to the wire (counted even if lost)
+    "deliver",          # a message handed to the destination runtime
+    "message-dropped",  # admitted but lost to the loss model
+    "message-severed",  # in flight when the link went down
+    "send-blocked",     # refused admission (dead link / crashed peer)
+    # faults and membership
+    "crash",
+    "recover",
+    "partition",
+    "heal",
+    "ring-change",      # replicas added/removed from the hash ring
+    # digest-repair escalation (root probe → fingerprint diff → payload)
+    "repair-probe",
+    "repair-diff",
+    "repair-absorb",
+    # live rebalancing
+    "handoff-offer",
+    "handoff-segment",
+    "handoff-ack",
+    "handoff-fence",
+    # write-ahead log
+    "wal-commit",
+    "wal-compact",
+    "wal-replay",
+    # probes and experiment structure
+    "lag",              # a shard's root-hash disagreement window closed
+    "cell-start",       # an experiment cell began (label = algorithm/mode)
+    "cell-end",
+    "timing",           # hot-path timer snapshot (extra = timer dict)
+)
+
+_EVENT_TYPE_SET = frozenset(EVENT_TYPES)
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One event of the stream.
+
+    Only ``type`` and ``time`` are always meaningful; the remaining
+    fields default to "absent" (``None`` / ``0`` / ``{}``) and are
+    omitted from the encoded line, keeping traffic-heavy traces small.
+
+    Attributes:
+        type: One of :data:`EVENT_TYPES`.
+        time: Transport wall-clock, in the transport's milliseconds.
+        round: Synchronization round the event belongs to, when known.
+        replica: The replica the event happened *at* (the sender for
+            wire events).
+        shard: The shard involved, for store/WAL/handoff events.
+        peer: The other replica of a pairwise event (the destination
+            for wire events, the source for absorb/handoff events).
+        kind: The wire kind (``"kv-batch"``, ``"kv-digest"``, …) for
+            message events.
+        payload_bytes / metadata_bytes: Byte accounting, same split as
+            :class:`repro.sync.protocol.Message`.
+        payload_units / metadata_units: The paper's element-count
+            accounting.
+        label: Free-form tag (algorithm name for ``cell-start``).
+        extra: Event-specific JSON-native details.
+    """
+
+    type: str
+    time: float = 0.0
+    round: Optional[int] = None
+    replica: Optional[int] = None
+    shard: Optional[int] = None
+    peer: Optional[int] = None
+    kind: Optional[str] = None
+    payload_bytes: int = 0
+    metadata_bytes: int = 0
+    payload_units: int = 0
+    metadata_units: int = 0
+    label: Optional[str] = None
+    extra: Dict[str, Any] = field(default_factory=dict)
+
+
+_DEFAULTS = {
+    "time": 0.0,
+    "round": None,
+    "replica": None,
+    "shard": None,
+    "peer": None,
+    "kind": None,
+    "payload_bytes": 0,
+    "metadata_bytes": 0,
+    "payload_units": 0,
+    "metadata_units": 0,
+    "label": None,
+}
+
+_FIELD_NAMES = tuple(f.name for f in fields(TraceEvent))
+
+
+def encode_event(event: TraceEvent) -> str:
+    """One compact, deterministic JSON line (no trailing newline).
+
+    Fields holding their default are omitted; keys are sorted; no
+    whitespace — so identical events encode to identical bytes and
+    seeded runs produce byte-identical trace files.
+    """
+    record: Dict[str, Any] = {"type": event.type}
+    for name, default in _DEFAULTS.items():
+        value = getattr(event, name)
+        if value != default:
+            record[name] = value
+    if event.extra:
+        record["extra"] = event.extra
+    return json.dumps(record, sort_keys=True, separators=(",", ":"))
+
+
+def decode_event(line: str) -> TraceEvent:
+    """Parse one line back into a :class:`TraceEvent`.
+
+    Unknown keys are ignored (newer writers, older readers); missing
+    keys take their defaults, so ``decode(encode(e)) == e`` for every
+    event whose ``extra`` is JSON-native (tuples come back as lists).
+    """
+    record = json.loads(line)
+    if not isinstance(record, dict) or "type" not in record:
+        raise ValueError(f"not a trace event: {line!r}")
+    kwargs = {key: record[key] for key in _FIELD_NAMES if key in record}
+    return TraceEvent(**kwargs)
+
+
+class TraceSink(ABC):
+    """Where encoded event lines go; mirrors :class:`repro.wal.Storage`."""
+
+    @abstractmethod
+    def write(self, line: str) -> None:
+        """Append one encoded event line to the stream."""
+
+    def close(self) -> None:
+        """Release any resources (a no-op for memory sinks)."""
+
+
+class MemoryTraceSink(TraceSink):
+    """Encoded lines in a list — the deterministic tests' backend."""
+
+    def __init__(self) -> None:
+        self.lines: List[str] = []
+
+    def write(self, line: str) -> None:
+        self.lines.append(line)
+
+    def __len__(self) -> int:
+        return len(self.lines)
+
+    def __repr__(self) -> str:
+        return f"MemoryTraceSink(events={len(self.lines)})"
+
+
+class FileTraceSink(TraceSink):
+    """Append-only JSONL file, truncated at construction.
+
+    Lines are flushed as they are written so a crashed run leaves a
+    readable (if truncated) trace — the same posture as the WAL's
+    group commit, minus the fsync (traces are diagnostics, not
+    durability).
+    """
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        parent = os.path.dirname(os.path.abspath(path))
+        os.makedirs(parent, exist_ok=True)
+        self._handle = open(path, "w", encoding="utf-8")
+
+    def write(self, line: str) -> None:
+        self._handle.write(line + "\n")
+        self._handle.flush()
+
+    def close(self) -> None:
+        if not self._handle.closed:
+            self._handle.close()
+
+    def __repr__(self) -> str:
+        return f"FileTraceSink(path={self.path!r})"
+
+
+class Tracer:
+    """The emission front-end every instrumented layer holds.
+
+    A cluster builds one tracer and binds it to the transport's clock
+    and round counter; every layer then emits through it without
+    knowing what time it is.  Call sites never construct
+    :class:`TraceEvent` themselves — :meth:`emit` fills in the ambient
+    time and round.
+    """
+
+    def __init__(self, sink: TraceSink) -> None:
+        self.sink = sink
+        self.events_written = 0
+        self._clock: Callable[[], float] = lambda: 0.0
+        self._rounds: Callable[[], Optional[int]] = lambda: None
+
+    def bind(
+        self,
+        clock: Callable[[], float],
+        rounds: Optional[Callable[[], Optional[int]]] = None,
+    ) -> None:
+        """Attach the ambient wall-clock (and round counter) sources."""
+        self._clock = clock
+        if rounds is not None:
+            self._rounds = rounds
+
+    def emit(
+        self,
+        type: str,
+        *,
+        time: Optional[float] = None,
+        round: Optional[int] = None,
+        replica: Optional[int] = None,
+        shard: Optional[int] = None,
+        peer: Optional[int] = None,
+        kind: Optional[str] = None,
+        payload_bytes: int = 0,
+        metadata_bytes: int = 0,
+        payload_units: int = 0,
+        metadata_units: int = 0,
+        label: Optional[str] = None,
+        extra: Optional[Dict[str, Any]] = None,
+    ) -> TraceEvent:
+        """Stamp, encode, and sink one event; returns it for tests."""
+        if type not in _EVENT_TYPE_SET:
+            raise ValueError(f"unknown trace event type {type!r}")
+        event = TraceEvent(
+            type=type,
+            time=self._clock() if time is None else time,
+            round=self._rounds() if round is None else round,
+            replica=replica,
+            shard=shard,
+            peer=peer,
+            kind=kind,
+            payload_bytes=payload_bytes,
+            metadata_bytes=metadata_bytes,
+            payload_units=payload_units,
+            metadata_units=metadata_units,
+            label=label,
+            extra=extra or {},
+        )
+        self.sink.write(encode_event(event))
+        self.events_written += 1
+        return event
+
+    def close(self) -> None:
+        self.sink.close()
+
+    def __repr__(self) -> str:
+        return f"Tracer(sink={self.sink!r}, events={self.events_written})"
+
+
+def read_trace(source: Union[str, TraceSink, Iterable[str]]) -> List[TraceEvent]:
+    """Decode a whole trace from a file path, a sink, or raw lines.
+
+    Blank lines are skipped (a crashed writer's partial final line will
+    instead raise — a trace that lies is worse than one that fails).
+    """
+    if isinstance(source, str):
+        with open(source, "r", encoding="utf-8") as handle:
+            lines: Iterable[str] = handle.read().splitlines()
+    elif isinstance(source, MemoryTraceSink):
+        lines = source.lines
+    elif isinstance(source, TraceSink):
+        raise TypeError(f"cannot read back from {type(source).__name__}")
+    else:
+        lines = source
+    return [decode_event(line) for line in lines if line.strip()]

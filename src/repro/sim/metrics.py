@@ -20,9 +20,10 @@ first/second-half split) without re-running simulations.
 
 from __future__ import annotations
 
-from bisect import bisect_left
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Tuple
+
+from repro.sim.series import bucket_series, cumulative, partition_at
 
 
 @dataclass(frozen=True)
@@ -155,29 +156,31 @@ class MetricsCollector:
 
     def units_series(self, window_ms: float) -> List[Tuple[float, int]]:
         """Payload units sent per time window — Figure 1's left plot."""
-        buckets: Dict[int, int] = {}
-        for record in self.messages:
-            buckets.setdefault(int(record.time // window_ms), 0)
-            buckets[int(record.time // window_ms)] += record.payload_units
-        return [(index * window_ms, units) for index, units in sorted(buckets.items())]
+        return bucket_series(
+            self.messages,
+            window_ms,
+            time=lambda r: r.time,
+            value=lambda r: r.payload_units,
+        )
 
     def cumulative_units_series(self, window_ms: float) -> List[Tuple[float, int]]:
         """Running total of payload units over time."""
-        running = 0
-        series = []
-        for time, units in self.units_series(window_ms):
-            running += units
-            series.append((time, running))
-        return series
+        return cumulative(self.units_series(window_ms))
 
     def split_at(self, time: float) -> Tuple["MetricsCollector", "MetricsCollector"]:
         """Split records into before/after ``time`` (Figure 11 halves)."""
         first = MetricsCollector(self.n_nodes)
         second = MetricsCollector(self.n_nodes)
-        for record in self.messages:
-            (first if record.time < time else second).record_message(record)
-        for sample in self.memory:
-            (first if sample.time < time else second).record_memory(sample)
+        early, late = partition_at(self.messages, time, time=lambda r: r.time)
+        for record in early:
+            first.record_message(record)
+        for record in late:
+            second.record_message(record)
+        early, late = partition_at(self.memory, time, time=lambda s: s.time)
+        for sample in early:
+            first.record_memory(sample)
+        for sample in late:
+            second.record_memory(sample)
         return first, second
 
     def last_time(self) -> float:

@@ -41,6 +41,8 @@ from repro.sync.protocol import DeltaMutator, Send, Synchronizer
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.net.runtime import ReplicaRuntime
     from repro.net.transport import Transport
+    from repro.obs.timing import HotPathTimers
+    from repro.obs.trace import Tracer
 
 
 class _SynchronizerView(SequenceABC):
@@ -81,6 +83,30 @@ def transport_registry() -> dict:
     from repro.net.tcp import AsyncTcpTransport
 
     return {"sim": SimTransport, "tcp": AsyncTcpTransport}
+
+
+def _normalize_trace(trace) -> Optional["Tracer"]:
+    """Coerce the ``trace=`` argument into a bound-ready tracer.
+
+    Accepts ``None`` (tracing off), an existing :class:`~repro.obs.
+    trace.Tracer` (shared across clusters, e.g. one trace file for a
+    whole experiment sweep), a :class:`~repro.obs.trace.TraceSink`, or
+    a path string for a fresh JSONL file sink.
+    """
+    if trace is None:
+        return None
+    from repro.obs.trace import FileTraceSink, Tracer, TraceSink
+
+    if isinstance(trace, Tracer):
+        return trace
+    if isinstance(trace, TraceSink):
+        return Tracer(trace)
+    if isinstance(trace, str):
+        return Tracer(FileTraceSink(trace))
+    raise TypeError(
+        f"trace must be None, a Tracer, a TraceSink, or a path string, "
+        f"not {type(trace).__name__}"
+    )
 
 
 @dataclass(frozen=True)
@@ -130,6 +156,15 @@ class Cluster:
         bottom: The bottom element every replica starts from.
         transport: ``"sim"`` (default), ``"tcp"``, or an already
             constructed :class:`~repro.net.transport.Transport`.
+        trace: Structured tracing: ``None`` (off, the default), a
+            :class:`~repro.obs.trace.Tracer`, a
+            :class:`~repro.obs.trace.TraceSink`, or a path string (a
+            :class:`~repro.obs.trace.FileTraceSink` is opened there).
+            The tracer's clock is bound to the transport, and every
+            layer that can see the tracer emits through it.
+        timing: Hot-path timers around tick/encode/decode/join paths.
+            ``None`` (default) follows ``trace`` — timing turns on
+            whenever tracing does; pass ``False``/``True`` to force.
     """
 
     def __init__(
@@ -138,6 +173,9 @@ class Cluster:
         factory: Callable[..., Synchronizer],
         bottom: Lattice,
         transport: Union[str, Transport] = "sim",
+        *,
+        trace: Union[None, "Tracer", str, object] = None,
+        timing: Optional[bool] = None,
     ) -> None:
         from repro.net.runtime import ReplicaRuntime
 
@@ -145,6 +183,7 @@ class Cluster:
         self.topology = config.topology
         self._factory = factory
         self._bottom = bottom
+        self.tracer = _normalize_trace(trace)
         if isinstance(transport, str):
             registry = transport_registry()
             try:
@@ -160,10 +199,27 @@ class Cluster:
         #: Shared collector: the transport records messages and memory
         #: samples, the runtimes record processing costs.
         self.metrics = transport.metrics
+        if self.tracer is not None:
+            # Bind the trace clock to the transport so every event
+            # carries the same time/round axes the collector uses.
+            self.tracer.bind(
+                lambda: self.transport.now, lambda: self.transport.rounds_run
+            )
+            transport.tracer = self.tracer
+        timing_on = timing if timing is not None else self.tracer is not None
+        self.timers: Optional["HotPathTimers"] = None
+        if timing_on:
+            from repro.obs.timing import HotPathTimers
+
+            self.timers = HotPathTimers()
+            transport.timers = self.timers
         self.runtimes: List[ReplicaRuntime] = [
             ReplicaRuntime(self._build_synchronizer(node), self.metrics)
             for node in range(config.topology.n)
         ]
+        if self.timers is not None:
+            for runtime in self.runtimes:
+                runtime.timers = self.timers
         self._nodes_view = _SynchronizerView(self.runtimes)
         self.transport.bind(self.runtimes)
 

@@ -37,7 +37,10 @@ import struct
 import zlib
 from dataclasses import dataclass
 from io import BytesIO
-from typing import Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.trace import Tracer
 
 from repro.codec import CodecError, decode, encode, read_uvarint, write_uvarint
 from repro.lattice.base import Lattice
@@ -114,14 +117,27 @@ class WalConfig:
 
 
 class ShardLog:
-    """Append-only log of encoded deltas for one shard of one replica."""
+    """Append-only log of encoded deltas for one shard of one replica.
+
+    ``observer`` is the log's hook into the structured trace: a
+    callable ``(event_type, nbytes)`` invoked on each group commit
+    (``"wal-commit"``, batch bytes) and successful compaction
+    (``"wal-compact"``, folded image bytes).  ``None`` — the default —
+    keeps the write path free of any tracing cost.
+    """
 
     def __init__(
-        self, storage: Storage, name: str, config: WalConfig = WalConfig()
+        self,
+        storage: Storage,
+        name: str,
+        config: WalConfig = WalConfig(),
+        *,
+        observer: Optional[Callable[[str, int], None]] = None,
     ) -> None:
         self.storage = storage
         self.name = name
         self.config = config
+        self.observer = observer
         #: Encoded deltas staged since the last group commit.
         self._staged: List[bytes] = []
         #: Committed log size in bytes (lazily synced from storage, so
@@ -202,6 +218,8 @@ class ShardLog:
         # _validate_tail (via replay) always ran first, so _size is set.
         self._size += len(batch)
         self._staged.clear()
+        if self.observer is not None:
+            self.observer("wal-commit", len(batch))
         threshold = self.config.compact_bytes
         if threshold is not None and self._size > max(
             threshold, 2 * self._compact_floor
@@ -244,6 +262,8 @@ class ShardLog:
         self.storage.replace(self.name, record)
         self._size = len(record)
         self.compactions += 1
+        if self.observer is not None:
+            self.observer("wal-compact", len(record))
         return True
 
     # ------------------------------------------------------------------
@@ -349,22 +369,43 @@ class ReplicaWal:
         replica: int,
         storage: Optional[Storage] = None,
         config: WalConfig = WalConfig(),
+        *,
+        tracer: Optional["Tracer"] = None,
     ) -> None:
         self.replica = replica
         self.storage = storage if storage is not None else MemoryStorage()
         self.config = config
+        #: Structured trace destination; shard logs get per-shard
+        #: observer closures over it (``None`` = tracing off).
+        self.tracer = tracer
         self._logs: Dict[int, ShardLog] = {}
         #: Committed log bytes consumed by recovery replays.
         self.replayed_bytes = 0
         #: Shards restored by recovery replays.
         self.replays = 0
 
+    def _observer_for(self, shard: int) -> Optional[Callable[[str, int], None]]:
+        if self.tracer is None:
+            return None
+
+        def observe(event_type: str, nbytes: int) -> None:
+            self.tracer.emit(
+                event_type,
+                replica=self.replica,
+                shard=shard,
+                payload_bytes=nbytes,
+            )
+
+        return observe
+
     def log(self, shard: int) -> ShardLog:
         """The shard's log (one file/blob per shard, created lazily)."""
         entry = self._logs.get(shard)
         if entry is None:
             name = f"r{self.replica:03d}-s{shard:05d}.wal"
-            entry = ShardLog(self.storage, name, self.config)
+            entry = ShardLog(
+                self.storage, name, self.config, observer=self._observer_for(shard)
+            )
             self._logs[shard] = entry
         return entry
 
@@ -395,6 +436,13 @@ class ReplicaWal:
         if state is not None:
             self.replayed_bytes += log.size_bytes()
             self.replays += 1
+            if self.tracer is not None:
+                self.tracer.emit(
+                    "wal-replay",
+                    replica=self.replica,
+                    shard=shard,
+                    payload_bytes=log.size_bytes(),
+                )
         return state
 
     def compact(self, shard: int) -> bool:

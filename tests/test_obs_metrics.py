@@ -1,0 +1,187 @@
+"""The metrics registry, series helpers, timers, and the lag probe."""
+
+import pytest
+
+from repro.obs.lag import ConvergenceProbe
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.timing import HotPathTimers
+from repro.sim.series import bucket_series, cumulative, partition_at
+
+
+class TestRegistry:
+    def test_counters_are_found_again_by_name(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("scheduler.ticks")
+        counter.inc()
+        assert registry.counter("scheduler.ticks") is counter
+        assert registry.counter("scheduler.ticks").value == 1
+
+    def test_counter_rejects_decrease(self):
+        with pytest.raises(ValueError):
+            Counter("x").inc(-1)
+
+    def test_kind_conflicts_raise(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(TypeError):
+            registry.gauge("x")
+
+    def test_gauge_moves_both_ways(self):
+        gauge = Gauge("mem")
+        gauge.set(10)
+        gauge.set(3)
+        assert gauge.value == 3
+
+    def test_histogram_aggregates(self):
+        histogram = Histogram("lat")
+        for value in (4, 1, 7):
+            histogram.observe(value)
+        assert histogram.count == 3
+        assert histogram.total == 12
+        assert histogram.min == 1
+        assert histogram.max == 7
+        assert histogram.mean == 4.0
+
+    def test_snapshot_is_sorted_and_flat(self):
+        registry = MetricsRegistry()
+        registry.counter("b").inc(2)
+        registry.gauge("a").set(1.5)
+        registry.histogram("c").observe(4)
+        snapshot = registry.snapshot()
+        assert list(snapshot) == sorted(snapshot)
+        assert snapshot["a"] == 1.5
+        assert snapshot["b"] == 2
+        assert snapshot["c.count"] == 1
+        assert snapshot["c.sum"] == 4
+
+    def test_views_merge_under_their_prefix(self):
+        registry = MetricsRegistry()
+        registry.register_view("wal", lambda: {"records": 5})
+        assert registry.snapshot()["wal.records"] == 5
+        # Re-registering replaces (a rebuilt store re-binding its view).
+        registry.register_view("wal", lambda: {"records": 9})
+        assert registry.snapshot()["wal.records"] == 9
+
+
+class TestSchedulerAdapter:
+    """scheduler.stats() and the attribute adapters read the registry."""
+
+    def make_scheduler(self, registry=None):
+        from repro.kv.antientropy import AntiEntropyConfig, AntiEntropyScheduler
+
+        return AntiEntropyScheduler(
+            AntiEntropyConfig(repair_interval=2, repair_mode="digest"),
+            shard_ids=(0, 1),
+            shard_peers={0: (1,), 1: (1,)},
+            replica=0,
+            registry=registry,
+        )
+
+    def test_stats_reads_registry_counters(self):
+        registry = MetricsRegistry()
+        scheduler = self.make_scheduler(registry)
+        scheduler.note_probe(3)
+        scheduler.note_repair_traffic(100, 16)
+        stats = scheduler.stats()
+        assert stats["probes"] == 3
+        assert stats["repair_payload_bytes"] == 100
+        assert stats["repair_metadata_bytes"] == 16
+        assert registry.snapshot()["scheduler.probes"] == 3
+        # The attribute adapters mirror the registry values.
+        assert scheduler.probes == 3
+        assert scheduler.repair_payload_bytes == 100
+
+    def test_counters_survive_a_scheduler_rebuild(self):
+        registry = MetricsRegistry()
+        first = self.make_scheduler(registry)
+        first.note_repair_traffic(64, 0)
+        # A lose-state rebuild constructs a fresh scheduler on the same
+        # (surviving) registry: counts continue, nothing retires.
+        second = self.make_scheduler(registry)
+        second.note_repair_traffic(36, 0)
+        assert second.stats()["repair_payload_bytes"] == 100
+
+
+class TestSeriesHelpers:
+    def test_bucket_series_sums_windows_and_skips_empty(self):
+        items = [(0.0, 1), (40.0, 2), (250.0, 5)]
+        series = bucket_series(
+            items, 100.0, time=lambda r: r[0], value=lambda r: r[1]
+        )
+        assert series == [(0.0, 3), (200.0, 5)]
+
+    def test_cumulative_running_total(self):
+        assert cumulative([(0.0, 3), (200.0, 5)]) == [(0.0, 3), (200.0, 8)]
+
+    def test_partition_at_boundary_goes_after(self):
+        before, after = partition_at(
+            [(99.0, "a"), (100.0, "b"), (101.0, "c")], 100.0, time=lambda r: r[0]
+        )
+        assert [x[1] for x in before] == ["a"]
+        assert [x[1] for x in after] == ["b", "c"]
+
+    def test_collector_series_built_on_helpers(self):
+        from repro.sim.metrics import MessageRecord, MetricsCollector
+
+        collector = MetricsCollector(2)
+        for when, units in ((0.0, 2), (150.0, 3)):
+            collector.record_message(
+                MessageRecord(
+                    time=when,
+                    src=0,
+                    dst=1,
+                    kind="delta",
+                    payload_units=units,
+                    payload_bytes=units * 8,
+                    metadata_bytes=4,
+                )
+            )
+        assert collector.units_series(100.0) == [(0.0, 2), (100.0, 3)]
+        assert collector.cumulative_units_series(100.0) == [(0.0, 2), (100.0, 5)]
+        first, second = collector.split_at(100.0)
+        assert first.message_count == 1
+        assert second.message_count == 1
+
+
+class TestHotPathTimers:
+    def test_record_and_span_accumulate(self):
+        timers = HotPathTimers()
+        timers.record("runtime.tick", units=5, seconds=0.25)
+        timers.record("runtime.tick", units=2, seconds=0.5)
+        with timers.span("tcp.encode", units=3):
+            pass
+        snapshot = timers.snapshot()
+        assert snapshot["runtime.tick"] == {
+            "calls": 2,
+            "seconds": 0.75,
+            "units": 7,
+        }
+        assert snapshot["tcp.encode"]["calls"] == 1
+        assert snapshot["tcp.encode"]["units"] == 3
+        assert len(timers) == 2
+
+
+class TestConvergenceProbe:
+    def test_window_opens_on_disagreement_and_closes_on_agreement(self):
+        probe = ConvergenceProbe()
+        assert probe.observe(0, {1: True}) == []
+        assert probe.observe(1, {1: False}) == []
+        assert probe.observe(2, {1: False}) == []
+        assert probe.observe(3, {1: True}) == [(1, 2)]
+        assert probe.closed == [(1, 1, 2)]
+
+    def test_open_windows_are_reported_not_dropped(self):
+        probe = ConvergenceProbe()
+        probe.observe(5, {2: False})
+        assert probe.open_lags(8) == {2: 3}
+        assert probe.distribution()["count"] == 0
+
+    def test_distribution(self):
+        probe = ConvergenceProbe()
+        for shard, (start, end) in enumerate(((0, 1), (0, 3), (2, 10))):
+            probe.observe(start, {shard: False})
+            probe.observe(end, {shard: True})
+        distribution = probe.distribution()
+        assert distribution["count"] == 3
+        assert distribution["max"] == 8
+        assert distribution["p50"] == 3

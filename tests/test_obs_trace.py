@@ -1,0 +1,129 @@
+"""The trace stream: event schema round-trips, sinks, the tracer."""
+
+import json
+
+import pytest
+
+from repro.obs.trace import (
+    EVENT_TYPES,
+    FileTraceSink,
+    MemoryTraceSink,
+    TraceEvent,
+    Tracer,
+    TraceSink,
+    decode_event,
+    encode_event,
+    read_trace,
+)
+
+
+class TestEventRoundTrip:
+    @pytest.mark.parametrize("event_type", EVENT_TYPES)
+    def test_every_type_round_trips_fully_populated(self, event_type):
+        event = TraceEvent(
+            type=event_type,
+            time=123.5,
+            round=7,
+            replica=2,
+            shard=11,
+            peer=4,
+            kind="kv-batch",
+            payload_bytes=321,
+            metadata_bytes=45,
+            payload_units=6,
+            metadata_units=3,
+            label="digest",
+            extra={"match": False, "groups": [[0, 1], [2]]},
+        )
+        assert decode_event(encode_event(event)) == event
+
+    @pytest.mark.parametrize("event_type", EVENT_TYPES)
+    def test_every_type_round_trips_defaults(self, event_type):
+        event = TraceEvent(type=event_type)
+        assert decode_event(encode_event(event)) == event
+
+    def test_defaults_are_omitted_from_the_line(self):
+        line = encode_event(TraceEvent(type="round", round=3))
+        record = json.loads(line)
+        assert record == {"round": 3, "type": "round"}
+
+    def test_encoding_is_deterministic(self):
+        event = TraceEvent(type="send", replica=1, peer=2, payload_bytes=9)
+        assert encode_event(event) == encode_event(event)
+        # Compact separators and sorted keys: no whitespace, stable order.
+        line = encode_event(event)
+        assert " " not in line
+        assert line == json.dumps(json.loads(line), sort_keys=True, separators=(",", ":"))
+
+    def test_decode_ignores_unknown_keys(self):
+        event = decode_event('{"type":"send","replica":1,"future_field":true}')
+        assert event.replica == 1
+
+    def test_decode_rejects_non_events(self):
+        with pytest.raises(ValueError):
+            decode_event("[1, 2, 3]")
+        with pytest.raises(ValueError):
+            decode_event('{"replica": 1}')
+
+
+class TestSinks:
+    def test_memory_sink_accumulates_lines(self):
+        sink = MemoryTraceSink()
+        sink.write("a")
+        sink.write("b")
+        assert sink.lines == ["a", "b"]
+        assert len(sink) == 2
+
+    def test_file_sink_writes_readable_jsonl(self, tmp_path):
+        path = str(tmp_path / "sub" / "trace.jsonl")
+        sink = FileTraceSink(path)
+        sink.write(encode_event(TraceEvent(type="crash", replica=3)))
+        sink.close()
+        events = read_trace(path)
+        assert events == [TraceEvent(type="crash", replica=3)]
+
+    def test_file_sink_truncates_on_construction(self, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        first = FileTraceSink(path)
+        first.write(encode_event(TraceEvent(type="crash")))
+        first.close()
+        second = FileTraceSink(path)
+        second.close()
+        assert read_trace(path) == []
+
+
+class TestTracer:
+    def test_emit_fills_bound_clock_and_round(self):
+        sink = MemoryTraceSink()
+        tracer = Tracer(sink)
+        tracer.bind(lambda: 250.0, lambda: 4)
+        event = tracer.emit("deliver", replica=1, peer=0, kind="kv-batch")
+        assert event.time == 250.0
+        assert event.round == 4
+        assert read_trace(sink) == [event]
+        assert tracer.events_written == 1
+
+    def test_explicit_time_and_round_win_over_bound(self):
+        tracer = Tracer(MemoryTraceSink())
+        tracer.bind(lambda: 999.0, lambda: 99)
+        event = tracer.emit("round", time=10.0, round=1)
+        assert (event.time, event.round) == (10.0, 1)
+
+    def test_emit_rejects_unknown_types(self):
+        tracer = Tracer(MemoryTraceSink())
+        with pytest.raises(ValueError, match="unknown trace event type"):
+            tracer.emit("no-such-event")
+
+
+class TestReadTrace:
+    def test_reads_iterable_of_lines_and_skips_blanks(self):
+        lines = [encode_event(TraceEvent(type="heal")), "", "   "]
+        assert read_trace(lines) == [TraceEvent(type="heal")]
+
+    def test_rejects_unreadable_sinks(self):
+        class NullSink(TraceSink):
+            def write(self, line):
+                pass
+
+        with pytest.raises(TypeError):
+            read_trace(NullSink())
