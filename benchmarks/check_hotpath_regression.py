@@ -1,0 +1,72 @@
+"""Compare a fresh hot-path benchmark run against the stored baseline.
+
+The machine-independent regression gates live *inside*
+``bench_hotpath.py`` as speedup-ratio assertions (cached vs recompute,
+shared vs fresh encodes) — those fail deterministically when a cache
+stops working, regardless of host speed.  This script adds the
+throughput dimension on top: it reads two pytest-benchmark JSON files
+and fails if any cell's median wall time regressed by more than a
+generous factor.  The factor is deliberately loose because CI runners
+and the machine that recorded ``results/hotpath_baseline.json`` differ;
+it catches order-of-magnitude regressions (an accidentally quadratic
+hot path), not few-percent noise.
+
+Usage::
+
+    python benchmarks/check_hotpath_regression.py NEW.json [BASELINE.json]
+
+Exit status 1 on regression, with a per-cell report either way.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+#: A cell fails if its median time exceeds baseline * ALLOWED_SLOWDOWN.
+ALLOWED_SLOWDOWN = 4.0
+
+DEFAULT_BASELINE = Path(__file__).parent / "results" / "hotpath_baseline.json"
+
+
+def medians(path: Path) -> dict:
+    with path.open() as handle:
+        report = json.load(handle)
+    return {bench["name"]: bench["stats"]["median"] for bench in report["benchmarks"]}
+
+
+def main(argv) -> int:
+    if not 2 <= len(argv) <= 3:
+        print(__doc__, file=sys.stderr)
+        return 2
+    new = medians(Path(argv[1]))
+    baseline = medians(Path(argv[2]) if len(argv) == 3 else DEFAULT_BASELINE)
+
+    failed = []
+    for name, base_s in sorted(baseline.items()):
+        now_s = new.get(name)
+        if now_s is None:
+            failed.append(name)
+            print(f"MISSING  {name}: in baseline but not in the new run")
+            continue
+        ratio = now_s / base_s
+        verdict = "ok" if ratio <= ALLOWED_SLOWDOWN else "REGRESSED"
+        print(
+            f"{verdict:>9}  {name}: {now_s * 1e3:.1f} ms vs baseline "
+            f"{base_s * 1e3:.1f} ms ({ratio:.2f}x, gate {ALLOWED_SLOWDOWN:g}x)"
+        )
+        if ratio > ALLOWED_SLOWDOWN:
+            failed.append(name)
+    for name in sorted(set(new) - set(baseline)):
+        print(f"      new  {name}: {new[name] * 1e3:.1f} ms (no baseline yet)")
+
+    if failed:
+        print(f"hot-path regression gate FAILED: {', '.join(sorted(failed))}")
+        return 1
+    print("hot-path regression gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,0 +1,108 @@
+"""Fingerprint the sim transport's byte records for refactor safety.
+
+Runs a fixed set of representative experiments on the deterministic
+simulator and prints one sha256 per experiment over every message
+record and memory sample the metrics collector saw.  Identical
+fingerprints before and after a runtime/transport refactor prove the
+round-stepped execution model is byte-identical — the check PR 3
+introduced for the transport seam, reused here for the clock seam.
+
+    PYTHONPATH=src python benchmarks/fingerprint_sim_records.py
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from repro.causal import Causal
+from repro.experiments import KVConfig, run_kv_repair_comparison, run_kv_sweep
+from repro.sim.network import Cluster, ClusterConfig
+from repro.sim.topology import partial_mesh
+from repro.sync import ALGORITHMS
+from repro.workloads import AWSetChurnWorkload
+
+
+def _digest_metrics(metrics) -> str:
+    hasher = hashlib.sha256()
+    for m in metrics.messages:
+        hasher.update(
+            repr(
+                (
+                    m.time,
+                    m.src,
+                    m.dst,
+                    m.kind,
+                    m.payload_units,
+                    m.payload_bytes,
+                    m.metadata_bytes,
+                    m.metadata_units,
+                )
+            ).encode()
+        )
+    for s in metrics.memory:
+        hasher.update(
+            repr(
+                (
+                    s.time,
+                    s.node,
+                    s.state_units,
+                    s.state_bytes,
+                    s.buffer_bytes,
+                    s.metadata_bytes,
+                )
+            ).encode()
+        )
+    return hasher.hexdigest()
+
+
+def micro_fingerprint(algorithm: str) -> str:
+    workload = AWSetChurnWorkload(8, rounds=6, seed=3)
+    cluster = Cluster(
+        ClusterConfig(topology=partial_mesh(8, 4)),
+        ALGORITHMS[algorithm],
+        Causal.map_bottom(),
+    )
+    cluster.run_rounds(workload.rounds, workload.updates_for)
+    cluster.drain()
+    return _digest_metrics(cluster.metrics)
+
+
+def kv_sweep_fingerprint() -> str:
+    result = run_kv_sweep(
+        KVConfig(replicas=8, keys=200, rounds=8, ops_per_node=4, seed=7),
+        algorithms=("state-based", "delta-based-bp-rr"),
+    )
+    hasher = hashlib.sha256()
+    for label, cell in result.cells.items():
+        hasher.update(repr((label, cell)).encode())
+    return hasher.hexdigest()
+
+
+def kv_repair_fingerprint() -> str:
+    result = run_kv_repair_comparison(
+        KVConfig(
+            replicas=8,
+            keys=200,
+            rounds=9,
+            ops_per_node=4,
+            repair_interval=3,
+            repair_fanout=8,
+            seed=7,
+        ),
+        modes=("blanket", "digest", "wal"),
+    )
+    hasher = hashlib.sha256()
+    for label, cell in result.cells.items():
+        hasher.update(repr((label, cell)).encode())
+    return hasher.hexdigest()
+
+
+def main() -> None:
+    for algorithm in ("delta-based-bp-rr", "scuttlebutt", "state-based"):
+        print(f"micro/{algorithm}: {micro_fingerprint(algorithm)}")
+    print(f"kv/sweep: {kv_sweep_fingerprint()}")
+    print(f"kv/repair: {kv_repair_fingerprint()}")
+
+
+if __name__ == "__main__":
+    main()

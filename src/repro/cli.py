@@ -252,6 +252,22 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     kv.add_argument(
+        "--execution",
+        choices=("rounds", "free"),
+        default="rounds",
+        help=(
+            "execution model: barrier-stepped rounds (the paper's timeline) "
+            "or free-running drifting per-replica timers with no quiescence "
+            "barrier (sim engine only; rejected with --transport tcp)"
+        ),
+    )
+    kv.add_argument(
+        "--tick-jitter",
+        type=float,
+        default=0.05,
+        help="free-running only: timer period skew as a fraction of the interval",
+    )
+    kv.add_argument(
         "--budget", type=int, default=None, help="anti-entropy bytes per tick per node"
     )
     kv.add_argument(
@@ -346,6 +362,58 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _kv_config(args: argparse.Namespace) -> KVConfig:
+    """The sweep-cell config for one ``repro kv`` invocation.
+
+    ``KVConfig`` validates flag combinations (e.g. ``--execution free``
+    with ``--transport tcp``) in ``__post_init__``; the caller turns
+    that ``ValueError`` into a usage error.
+    """
+    return KVConfig(
+        replicas=args.replicas,
+        keys=args.keys,
+        rounds=args.rounds,
+        ops_per_node=args.ops,
+        users=args.users,
+        zipf=args.zipf,
+        replication=args.replication,
+        shards=args.shards,
+        seed=args.seed,
+        workload=args.workload,
+        budget_bytes=args.budget,
+        # --faults, --rebalance, and an explicit digest mode are
+        # meaningless with repair disabled, so when --repair is
+        # *unset* they default to a working interval; an explicit
+        # --repair 0 is honored.
+        repair_interval=args.repair
+        if args.repair is not None
+        else (
+            4
+            if args.faults or args.rebalance or args.repair_mode == "digest"
+            else 0
+        ),
+        # The rebalance scenario is divergence-driven end to end
+        # (its handoff warm-path/suspicion machinery expects digest
+        # probes), so it defaults the unset flag to digest; an
+        # explicit blanket was rejected above.
+        repair_mode=args.repair_mode
+        if args.repair_mode is not None
+        else ("digest" if args.rebalance else "blanket"),
+        repair_fanout=args.repair_fanout,
+        transport=args.transport,
+        execution=args.execution,
+        tick_jitter=args.tick_jitter,
+        # Outside --faults the flag directly sets the store's
+        # lose-state policy; the fault comparison instead derives
+        # per-row policies from the strategy labels below.
+        # --rebalance defaults to wal so handoffs ship log segments.
+        recovery=args.recovery
+        if args.recovery is not None
+        else ("wal" if args.rebalance else "repair"),
+        trace=args.trace,
+    )
+
+
 def _emit(text: str, out_path: Optional[str], stream) -> None:
     print(text, file=stream)
     if out_path:
@@ -422,47 +490,11 @@ def main(argv: Optional[List[str]] = None, stream=None) -> int:
                 file=sys.stderr,
             )
             return 2
-        config = KVConfig(
-            replicas=args.replicas,
-            keys=args.keys,
-            rounds=args.rounds,
-            ops_per_node=args.ops,
-            users=args.users,
-            zipf=args.zipf,
-            replication=args.replication,
-            shards=args.shards,
-            seed=args.seed,
-            workload=args.workload,
-            budget_bytes=args.budget,
-            # --faults, --rebalance, and an explicit digest mode are
-            # meaningless with repair disabled, so when --repair is
-            # *unset* they default to a working interval; an explicit
-            # --repair 0 is honored.
-            repair_interval=args.repair
-            if args.repair is not None
-            else (
-                4
-                if args.faults or args.rebalance or args.repair_mode == "digest"
-                else 0
-            ),
-            # The rebalance scenario is divergence-driven end to end
-            # (its handoff warm-path/suspicion machinery expects digest
-            # probes), so it defaults the unset flag to digest; an
-            # explicit blanket was rejected above.
-            repair_mode=args.repair_mode
-            if args.repair_mode is not None
-            else ("digest" if args.rebalance else "blanket"),
-            repair_fanout=args.repair_fanout,
-            transport=args.transport,
-            # Outside --faults the flag directly sets the store's
-            # lose-state policy; the fault comparison instead derives
-            # per-row policies from the strategy labels below.
-            # --rebalance defaults to wal so handoffs ship log segments.
-            recovery=args.recovery
-            if args.recovery is not None
-            else ("wal" if args.rebalance else "repair"),
-            trace=args.trace,
-        )
+        try:
+            config = _kv_config(args)
+        except ValueError as exc:
+            print(f"repro kv: {exc}", file=sys.stderr)
+            return 2
         started = time.perf_counter()
         if args.rebalance:
             from repro.experiments import run_kv_rebalance

@@ -841,7 +841,18 @@ def _read_message(payload_in: BinaryIO, meta_in: BinaryIO):
 
 
 def frame_message(message) -> WireFrame:
-    """Encode a protocol message and report its measured size split."""
+    """Encode a protocol message and report its measured size split.
+
+    Messages are frozen and their payloads immutable, so the frame is a
+    pure function of the message object — it is memoized on the message
+    itself.  Synchronizers exploit this by *sharing* one message object
+    across the destinations whose δ-group is identical: the bytes are
+    produced once and every subsequent send (or retransmission) of the
+    same object reuses them.
+    """
+    memo = getattr(message, "_frame_memo", None)
+    if memo is not None:
+        return memo
     payload_out = BytesIO()
     meta_out = BytesIO()
     _write_message(message, payload_out, meta_out)
@@ -853,11 +864,15 @@ def frame_message(message) -> WireFrame:
     write_uvarint(out, len(meta_section))
     out.write(meta_section)
     data = out.getvalue()
-    return WireFrame(
+    frame = WireFrame(
         data=data,
         payload_bytes=len(payload_section),
         metadata_bytes=len(data) - len(payload_section),
     )
+    # ``Message`` is a frozen dataclass without ``__slots__``; the memo
+    # rides on the instance, invisible to equality and dataclasses.
+    object.__setattr__(message, "_frame_memo", frame)
+    return frame
 
 
 def encode_message(message) -> bytes:

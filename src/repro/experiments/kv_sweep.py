@@ -99,6 +99,20 @@ class KVConfig:
     #: bytes); ``"tcp"`` runs the same replay over localhost asyncio
     #: TCP sockets (measured wire bytes of the envelope codec).
     transport: str = "sim"
+    #: Execution model: ``"rounds"`` steps barrier-synchronized
+    #: intervals (every figure in the paper); ``"free"`` drops the
+    #: barrier and runs each replica on its own drifting timer
+    #: (:class:`~repro.net.freerun.FreeRunTransport`), making
+    #: convergence lag a measurement.  Free-running requires the
+    #: event-driven engine — combining it with ``transport="tcp"`` is
+    #: rejected at construction rather than left to hang the socket
+    #: round loop.
+    execution: str = "rounds"
+    #: Free-running only: per-replica timer period skew (fraction of
+    #: the synchronization interval) and the seed drawing each
+    #: replica's phase/period.
+    tick_jitter: float = 0.05
+    tick_seed: int = 0
     #: Lose-state recovery policy (``repair`` | ``wal`` | ``wal+repair``).
     #: The WAL policies give every store a durable per-shard delta log.
     recovery: str = "repair"
@@ -110,6 +124,44 @@ class KVConfig:
     #: renders one table per cell and the byte totals of the tables can
     #: be re-derived from the trace alone.
     trace: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.execution not in ("rounds", "free"):
+            raise ValueError(
+                f"unknown execution model {self.execution!r} (rounds | free)"
+            )
+        if self.execution == "free" and self.transport == "tcp":
+            raise ValueError(
+                'execution="free" needs the deterministic event engine and '
+                'cannot run over transport="tcp": the TCP round loop settles '
+                "(waits for the network to quiesce) after every round, which "
+                "is exactly the barrier free-running removes. Use "
+                'transport="sim" with execution="free", or drop to '
+                'execution="rounds" for TCP.'
+            )
+
+    def resolved_transport(self) -> str:
+        """The transport name the cluster should actually run on."""
+        return "free" if self.execution == "free" else self.transport
+
+    def cluster_config(self):
+        """Cluster knobs derived from this cell (``None`` = defaults).
+
+        Only free-running cells need a non-default config (the timer
+        drift parameters); round-stepped cells return ``None`` so the
+        cluster builds its usual default, keeping those code paths
+        byte-identical to the pre-knob harness.
+        """
+        if self.execution != "free":
+            return None
+        from repro.sim.network import ClusterConfig
+        from repro.sim.topology import full_mesh
+
+        return ClusterConfig(
+            topology=full_mesh(self.replicas),
+            tick_jitter=self.tick_jitter,
+            tick_seed=self.tick_seed,
+        )
 
     def ring(self) -> HashRing:
         return HashRing(
@@ -212,6 +264,11 @@ class KVSweepResult:
             header += f", budget {human_bytes(config.budget_bytes)}/tick"
         if config.transport != "sim":
             header += f", transport {config.transport} (measured wire bytes)"
+        if config.execution == "free":
+            header += (
+                f", free-running (jitter {config.tick_jitter:g}, "
+                f"tick seed {config.tick_seed})"
+            )
         rows = []
         baseline = self.cells.get("delta-based-bp-rr")
         for label, cell in self.cells.items():
@@ -296,7 +353,8 @@ def run_kv_cell(
         ring,
         KV_ALGORITHMS[algorithm],
         antientropy=config.antientropy(),
-        transport=config.transport,
+        config=config.cluster_config(),
+        transport=config.resolved_transport(),
         recovery=config.recovery,
         wal_config=config.wal_config() if config.recovery != "repair" else None,
         trace=tracer,
@@ -440,7 +498,8 @@ def run_kv_repair_cell(
         ring,
         KV_ALGORITHMS[algorithm],
         antientropy=antientropy,
-        transport=config.transport,
+        config=config.cluster_config(),
+        transport=config.resolved_transport(),
         recovery=recovery,
         wal_config=config.wal_config() if recovery != "repair" else None,
         trace=tracer,

@@ -53,7 +53,7 @@ from repro.net.transport import Transport
 
 from repro.kv.antientropy import AntiEntropyConfig
 from repro.kv.ring import HashRing
-from repro.kv.store import KVStore, KVUpdate, kv_store_factory
+from repro.kv.store import KVRoutingError, KVStore, KVUpdate, kv_store_factory
 from repro.kv.types import Schema
 from repro.lattice.base import Lattice
 from repro.lattice.map_lattice import MapLattice
@@ -61,7 +61,6 @@ from repro.obs.lag import ConvergenceProbe
 from repro.obs.metrics import MetricsRegistry
 from repro.sim.network import Cluster, ClusterConfig, _normalize_trace
 from repro.sim.topology import Topology, full_mesh
-from repro.sync.digest import digest_of, root_of
 from repro.wal import ReplicaWal, Storage, WalConfig
 
 #: Valid lose-state recovery policies (see the module docstring).
@@ -512,7 +511,9 @@ class KVCluster(Cluster):
         does — equal Merkle roots over the shard's irreducible digest —
         so a ``lag`` event of *n* rounds means digest probes would have
         seen divergence for exactly that window.  Runs only when
-        tracing is on; it walks every shard's state each round.
+        tracing is on; roots come from each store's incremental digest
+        cache, so a quiescent shard costs one identity check per owner
+        per round instead of a full decomposition.
         """
         agreement: Dict[int, bool] = {}
         for shard in range(self.ring.n_shards):
@@ -520,9 +521,9 @@ class KVCluster(Cluster):
             for owner in self.ring.shard_owners(shard):
                 if owner in self.down:
                     continue
-                inner = self.nodes[owner].shards.get(shard)
-                if inner is not None:
-                    roots.add(root_of(digest_of(inner.state)))
+                root = self.nodes[owner].shard_root(shard)
+                if root is not None:
+                    roots.add(root)
             agreement[shard] = len(roots) <= 1
         round_index = self.rounds_run - 1
         for shard, lag in self._lag_probe.observe(round_index, agreement):
@@ -558,9 +559,52 @@ class KVCluster(Cluster):
         assert isinstance(node, KVStore)
         return node.remove(key)
 
-    def value(self, key: Hashable) -> Any:
-        """Read the typed value from the first live owner."""
-        node = self.nodes[self._coordinator(key)]
+    def value(self, key: Hashable, *, read_replica: Optional[int] = None) -> Any:
+        """Read the typed value of ``key`` from one replica.
+
+        Args:
+            key: The key to read.
+            read_replica: Which owner answers.  ``None`` (default)
+                routes like a smart client: the key's first *live*
+                owner.  An explicit replica index must be a live owner
+                of the key's shard — anything else raises
+                :class:`~repro.kv.store.KVRoutingError` (not an owner)
+                or :class:`Unavailable` (owner, but down).
+
+        **Staleness contract.**  Every read is served from a single
+        replica's local state with no quorum or read-repair, so it is
+        *eventually consistent*: it reflects all writes that replica has
+        locally applied — its own coordinated writes, plus whatever
+        anti-entropy has delivered — and may miss writes coordinated
+        elsewhere that are still in flight.  Under round-stepped
+        execution a read taken between rounds is at most one
+        synchronization interval stale on a healthy cluster, because
+        every round settles to quiescence.  Under free-running
+        execution (``transport="free"``) there is **no settling**:
+        replicas sync on drifting timers and a read may trail a remote
+        write by several intervals — the convergence-lag probe measures
+        exactly this window.  Reads from different replicas (or the
+        same replica across partitions/crashes) may disagree until
+        anti-entropy converges; what never happens is a *rollback* —
+        per replica, successive reads of a CRDT value only move up the
+        lattice order.  Pin ``read_replica`` to observe one replica's
+        monotone timeline; leave it ``None`` for availability.
+        """
+        if read_replica is None:
+            owner = self._coordinator(key)
+        else:
+            owners = self.ring.owners(key)
+            if read_replica not in owners:
+                raise KVRoutingError(
+                    f"replica {read_replica} does not own key {key!r} "
+                    f"(owners: {list(owners)})"
+                )
+            if read_replica in self.down:
+                raise Unavailable(
+                    f"read replica {read_replica} of key {key!r} is down"
+                )
+            owner = read_replica
+        node = self.nodes[owner]
         assert isinstance(node, KVStore)
         return node.get(key)
 

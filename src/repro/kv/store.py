@@ -84,10 +84,9 @@ from repro.sizes import SizeModel, DEFAULT_SIZE_MODEL
 from repro.sync.digest import (
     FINGERPRINT_BYTES,
     ROOT_BYTES,
+    IncrementalDigest,
     delta_against_digest,
     digest_and_missing,
-    digest_of,
-    root_of,
 )
 from repro.sync.protocol import Message, Send, Synchronizer
 from repro.wal import ReplicaWal
@@ -201,6 +200,11 @@ class KVStore(Synchronizer):
         #: Wire messages that arrived for a shard the current ring does
         #: not place here — in-flight traffic outrun by a rebalance.
         self.stale_shard_messages = 0
+        #: Per-shard incremental digest/root caches.  Identity-based
+        #: refresh makes them self-correcting, so they survive ring
+        #: swaps and synchronizer replacement without invalidation
+        #: hooks; :meth:`apply_ring` merely prunes shards that left.
+        self._digests: Dict[int, IncrementalDigest] = {}
         self.schema = schema if schema is not None else Schema()
         #: This replica's metrics registry — the single observability
         #: namespace the runtime's ``metrics`` view exposes.  A cluster
@@ -249,6 +253,27 @@ class KVStore(Synchronizer):
             n_nodes=self.n_nodes,
             size_model=self.size_model,
         )
+
+    def _shard_digest(self, shard: int) -> IncrementalDigest:
+        """The shard's incremental digest cache (created on first use)."""
+        cache = self._digests.get(shard)
+        if cache is None:
+            cache = IncrementalDigest()
+            self._digests[shard] = cache
+        return cache
+
+    def shard_root(self, shard: int) -> Optional[bytes]:
+        """The root hash of an owned shard's state, incrementally kept.
+
+        Equal to ``root_of(digest_of(state))`` by construction; ``None``
+        when this replica does not hold the shard.  This is the probe
+        the repair plane and the convergence-lag sampler compare — the
+        cache makes asking every round O(1) for quiescent shards.
+        """
+        inner = self.shards.get(shard)
+        if inner is None:
+            return None
+        return self._shard_digest(shard).root(inner.state)
 
     # ------------------------------------------------------------------
     # Typed client API.
@@ -373,7 +398,7 @@ class KVStore(Synchronizer):
                 wire.append((dst, shard, repair))
         for shard, peers in probes_due:
             inner = self.shards[shard]
-            root = root_of(digest_of(inner.state))
+            root = self._shard_digest(shard).root(inner.state)
             probe = Message(
                 kind="kv-digest",
                 payload=root,
@@ -396,7 +421,7 @@ class KVStore(Synchronizer):
                 self._maybe_finalize_fence(shard)
                 continue
             if phase == "offer":
-                wire.append((dst, shard, self._handoff_offer(inner)))
+                wire.append((dst, shard, self._handoff_offer(shard, inner)))
             else:
                 wire.append((dst, shard, self._handoff_segment_message(shard, inner)))
         return self._package(wire)
@@ -508,8 +533,8 @@ class KVStore(Synchronizer):
         if message.kind == "kv-digest":
             self.scheduler.note_probe()
             self.scheduler.note_repair_traffic(0, message.metadata_bytes)
-            digest = digest_of(inner.state)
-            match = root_of(digest) == message.payload
+            cache = self._shard_digest(shard)
+            match = cache.root(inner.state) == message.payload
             if self.tracer is not None:
                 self.tracer.emit(
                     "repair-probe",
@@ -524,6 +549,7 @@ class KVStore(Synchronizer):
                 # we do not immediately counter-probe a healthy pair.
                 self.scheduler.note_delta_activity(shard, src)
                 return None
+            digest = cache.digest(inner.state)
             return Message(
                 kind="kv-diff",
                 payload=digest,
@@ -647,14 +673,22 @@ class KVStore(Synchronizer):
             },
             suspect_paths=suspect,
         )
+        # Digest caches are identity-refreshed, so correctness needs no
+        # invalidation here — only drop the ones whose shard left, so
+        # they stop pinning a departed shard's state.
+        self._digests = {
+            shard: cache
+            for shard, cache in self._digests.items()
+            if shard in self.shards or shard in self._fencing
+        }
 
     def begin_handoff(self, shard: int, dst: int) -> None:
         """Start sourcing ``shard`` to its gaining owner ``dst``."""
         self.scheduler.enqueue_handoff(shard, dst)
 
-    def _handoff_offer(self, inner: Synchronizer) -> Message:
+    def _handoff_offer(self, shard: int, inner: Synchronizer) -> Message:
         """Phase 1: announce the handoff with the source's root hash."""
-        root = root_of(digest_of(inner.state))
+        root = self._shard_digest(shard).root(inner.state)
         return Message(
             kind="kv-handoff-offer",
             payload=(root, inner.state.size_bytes(self.size_model)),
@@ -759,7 +793,7 @@ class KVStore(Synchronizer):
                 # the gaining owner; complete so the source can fence.
                 self.stale_shard_messages += 1
                 return self._handoff_ack(True, None)
-            mine = root_of(digest_of(inner.state))
+            mine = self._shard_digest(shard).root(inner.state)
             if mine == root:
                 # Already holding the offered content (a retried offer,
                 # or repair beat the handoff): skip the segment bytes.
@@ -797,7 +831,7 @@ class KVStore(Synchronizer):
             if not absorbed.is_bottom:
                 self._wal_append(shard, absorbed)
             self.scheduler.note_delta_activity(shard, src)
-        return self._handoff_ack(True, root_of(digest_of(inner.state)))
+        return self._handoff_ack(True, self._shard_digest(shard).root(inner.state))
 
     def _fence_now(self, shard: int) -> None:
         """Seal a disowned shard's log so a re-add cannot resurrect it."""
@@ -810,6 +844,8 @@ class KVStore(Synchronizer):
         """Fence a retained source shard once its last handoff settles."""
         if shard in self._fencing and not self.scheduler.pending_handoffs(shard):
             del self._fencing[shard]
+            if shard not in self.shards:
+                self._digests.pop(shard, None)
             self._fence_now(shard)
 
     # ------------------------------------------------------------------

@@ -25,6 +25,7 @@ from __future__ import annotations
 
 from typing import Callable, Optional, Sequence
 
+from repro.net.clock import RoundStepClock, TickClock
 from repro.net.transport import Transport
 from repro.sim.events import EventQueue
 from repro.sim.metrics import MetricsCollector
@@ -38,6 +39,19 @@ class SimTransport(Transport):
         super().__init__(config, metrics)
         self.queue = EventQueue()
         self._round = 0
+        #: The step policy every bound runtime shares.  The base
+        #: transport drives barrier-stepped rounds; subclasses override
+        #: :meth:`_make_clock` to change the execution model without
+        #: touching the event engine.
+        self.clock: TickClock = self._make_clock()
+
+    def _make_clock(self) -> TickClock:
+        return RoundStepClock(self.config.sync_interval_ms)
+
+    def bind(self, runtimes) -> None:
+        super().bind(runtimes)
+        for runtime in self.runtimes:
+            runtime.clock = self.clock
 
     # ------------------------------------------------------------------
     # Driving the simulation.
@@ -48,25 +62,25 @@ class SimTransport(Transport):
         updates: Optional[Callable[[int], Sequence[DeltaMutator]]] = None,
     ) -> None:
         """Run one full round: updates, sync tick, delivery, sampling."""
-        base = self._round * self.config.sync_interval_ms
-        stagger = 1e-3
-
         if updates is not None:
             for node in range(self.topology.n):
                 mutators = updates(node)
                 if not mutators:
                     continue
                 self.queue.schedule(
-                    base + node * stagger,
+                    self.runtimes[node].clock.update_at(self._round, node),
                     self._update_action,
                     payload=(node, tuple(mutators)),
                 )
 
-        sync_at = base + self.config.sync_interval_ms / 2
         for node in range(self.topology.n):
-            self.queue.schedule(sync_at + node * stagger, self._sync_action, payload=node)
+            self.queue.schedule(
+                self.runtimes[node].clock.sync_at(self._round, node),
+                self._sync_action,
+                payload=node,
+            )
 
-        end_of_round = base + self.config.sync_interval_ms - stagger
+        end_of_round = self.clock.interval_end(self._round)
         self.queue.run(until=end_of_round)
         self.sample_memory(end_of_round)
         self._round += 1

@@ -81,6 +81,9 @@ class AsyncTcpTransport(Transport):
         self._outbox: Deque[Tuple[int, int, bytes]] = deque()
         #: Frames sent but not yet fully processed at their receiver.
         self._pending = 0
+        #: The same count broken down by receiving replica, so a stall
+        #: can name who stopped making progress.
+        self._pending_by_dst: Dict[int, int] = {}
         self._progress: Optional[asyncio.Event] = None
         self._servers: list = []
         self._ports: List[int] = []
@@ -171,6 +174,11 @@ class AsyncTcpTransport(Transport):
                 self.runtimes[dst].deliver(src, message)
         finally:
             self._pending -= 1
+            remaining = self._pending_by_dst.get(dst, 0) - 1
+            if remaining > 0:
+                self._pending_by_dst[dst] = remaining
+            else:
+                self._pending_by_dst.pop(dst, None)
             if self._progress is not None:
                 self._progress.set()
 
@@ -198,6 +206,9 @@ class AsyncTcpTransport(Transport):
             ):
                 continue
             self._pending += 1
+            self._pending_by_dst[send.dst] = (
+                self._pending_by_dst.get(send.dst, 0) + 1
+            )
             self._outbox.append((src, send.dst, frame.data))
             if self._progress is not None:
                 self._progress.set()
@@ -256,9 +267,14 @@ class AsyncTcpTransport(Transport):
                     self._progress.wait(), timeout=self._settle_timeout_s
                 )
             except asyncio.TimeoutError:
+                stalled = ", ".join(
+                    f"replica {dst} ({count} frame{'s' if count != 1 else ''})"
+                    for dst, count in sorted(self._pending_by_dst.items())
+                )
                 raise TransportStalled(
-                    f"no delivery progress for {self._settle_timeout_s}s with "
-                    f"{self._pending} frame(s) in flight"
+                    f"round {self._round}: no delivery progress for "
+                    f"{self._settle_timeout_s}s with {self._pending} frame(s) "
+                    f"in flight; stalled at {stalled or 'unknown receivers'}"
                 ) from None
 
     @property

@@ -21,6 +21,10 @@ to a :class:`~repro.net.transport.Transport`:
   real localhost TCP sockets where the recorded ``payload_bytes`` /
   ``metadata_bytes`` are measured wire bytes of the
   :func:`repro.codec.encode_message` envelopes.
+* ``transport="free"`` — :class:`~repro.net.freerun.FreeRunTransport`,
+  the same event engine running free: per-replica drifting timers
+  (:class:`~repro.net.clock.DriftClock`), no per-round quiescence
+  barrier, convergence lag measured instead of assumed.
 
 The constructor and every public method predate the seam, so existing
 experiments, tests, and drivers run unchanged.
@@ -79,10 +83,11 @@ def transport_registry() -> dict:
     facade builds the transports), and deferring the lookup keeps both
     packages importable in either order.
     """
+    from repro.net.freerun import FreeRunTransport
     from repro.net.sim import SimTransport
     from repro.net.tcp import AsyncTcpTransport
 
-    return {"sim": SimTransport, "tcp": AsyncTcpTransport}
+    return {"sim": SimTransport, "tcp": AsyncTcpTransport, "free": FreeRunTransport}
 
 
 def _normalize_trace(trace) -> Optional["Tracer"]:
@@ -136,6 +141,13 @@ class ClusterConfig:
     loss_rate: float = 0.0
     #: Seed for the (deterministic) loss coin flips.
     loss_seed: int = 0
+    #: Free-running mode only (``transport="free"``): per-replica timer
+    #: drift as a fraction of the interval — replica timers run at
+    #: ``interval * (1 ± tick_jitter)`` — and the seed of the
+    #: per-replica phase/period draws.  Ignored by the barrier-stepped
+    #: transports.
+    tick_jitter: float = 0.05
+    tick_seed: int = 0
 
     def __post_init__(self) -> None:
         if self.latency_ms * 2 >= self.sync_interval_ms:

@@ -98,33 +98,51 @@ class DeltaBased(Synchronizer):
         With BP enabled, entries tagged with the destination are
         filtered out (line 11, right-hand variant); classic joins the
         whole buffer for everyone.
+
+        Every neighbour without a BP-excluded buffer entry receives the
+        *same* δ-group — the join of the whole buffer, in buffer order —
+        so those destinations share one frozen message object, sized
+        once and (on a real transport) encoded once; see
+        :func:`repro.codec.frame_message`.  Only neighbours that
+        actually tagged a buffer entry get a private filtered group.
         """
+        if not self.buffer:
+            return []
         sends: List[Send] = []
+        tagged = {origin for _, origin in self.buffer} if self.bp else frozenset()
+        shared: Optional[Message] = None
         for neighbor in self.neighbors:
-            group = self.bottom
-            for delta, origin in self.buffer:
-                if self.bp and origin == neighbor:
+            if neighbor in tagged:
+                group = self.bottom
+                for delta, origin in self.buffer:
+                    if origin == neighbor:
+                        continue
+                    group = group.join(delta)
+                if group.is_bottom:
                     continue
-                group = group.join(delta)
-            if group.is_bottom:
-                continue
-            units, payload_bytes = self._payload_sizes(group)
+                message = self._group_message(group)
+            else:
+                if shared is None:
+                    group = self.bottom
+                    for delta, _ in self.buffer:
+                        group = group.join(delta)
+                    shared = self._group_message(group)
+                message = shared
             self._sequences[neighbor] = self._sequences.get(neighbor, 0) + 1
-            sends.append(
-                Send(
-                    dst=neighbor,
-                    message=Message(
-                        kind="delta",
-                        payload=group,
-                        payload_units=units,
-                        payload_bytes=payload_bytes,
-                        metadata_bytes=self.size_model.int_bytes,
-                        metadata_units=1,
-                    ),
-                )
-            )
+            sends.append(Send(dst=neighbor, message=message))
         self.buffer.clear()
         return sends
+
+    def _group_message(self, group: Lattice) -> Message:
+        units, payload_bytes = self._payload_sizes(group)
+        return Message(
+            kind="delta",
+            payload=group,
+            payload_units=units,
+            payload_bytes=payload_bytes,
+            metadata_bytes=self.size_model.int_bytes,
+            metadata_units=1,
+        )
 
     # ------------------------------------------------------------------
     # Algorithm 1, line 14-17: on receive.

@@ -31,9 +31,10 @@ from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass
-from typing import FrozenSet, Tuple
+from typing import Dict, FrozenSet, Optional, Tuple
 
 from repro.lattice.base import Lattice
+from repro.lattice.map_lattice import MapLattice
 from repro.sizes import SizeModel, DEFAULT_SIZE_MODEL
 
 #: Bytes per digest fingerprint.
@@ -99,6 +100,119 @@ def digest_and_missing(
         if entry not in remote_digest:
             acc = acc.join(irreducible)
     return frozenset(fingerprints), acc
+
+
+class IncrementalDigest:
+    """An incrementally maintained digest/root of one evolving state.
+
+    The sharded store needs ``root_of(digest_of(state))`` on every
+    digest probe, handoff round-trip, and convergence-lag sample — a
+    full decomposition plus one BLAKE2b per irreducible each time, even
+    when nothing changed since the last ask.  This cache exploits two
+    library-wide invariants instead:
+
+    * lattice values are immutable, so an object-identity check is a
+      sound staleness signal, and
+    * :meth:`MapLattice.join` / ``with_entry`` reuse the value objects
+      of untouched keys, so after an inflation only the touched keys'
+      bindings are new objects (the same reuse
+      ``repro.kv.store._keyspace_novelty`` builds on).
+
+    ``refresh`` walks the map's bindings once, comparing identity
+    against the last-seen value per key, and re-fingerprints only the
+    keys that changed.  Fingerprints are kept as a multiset (the same
+    fingerprint may in principle repeat across keys), so removing a
+    key's old contribution cannot drop another key's identical entry.
+    The digest and its root are rebuilt lazily and only when a refresh
+    actually changed something; asking again for an unchanged state is
+    one identity check.
+
+    For non-map states there is no per-key reuse to exploit, so the
+    cache degrades to a full recompute memoized on the state object.
+
+    The cached values are definitionally equal to ``digest_of(state)``
+    and ``root_of(digest_of(state))``: the per-key fingerprints hash
+    exactly the ``MapLattice({key: irreducible})`` singletons that
+    :meth:`MapLattice.decompose` yields.  The property-test suite
+    asserts this equality after arbitrary mutation sequences across
+    every lattice family.
+    """
+
+    __slots__ = ("_state", "_values", "_counts", "_digest", "_root")
+
+    def __init__(self) -> None:
+        #: The state object the cached fingerprints reflect.
+        self._state: Optional[Lattice] = None
+        #: key → (last-seen value object, its fingerprint tuple).
+        self._values: Dict = {}
+        #: fingerprint → multiplicity across keys (multiset semantics).
+        self._counts: Dict[bytes, int] = {}
+        self._digest: Optional[FrozenSet[bytes]] = None
+        self._root: Optional[bytes] = None
+
+    def digest(self, state: Lattice) -> FrozenSet[bytes]:
+        """``digest_of(state)``, reusing unchanged keys' fingerprints."""
+        self._refresh(state)
+        if self._digest is None:
+            self._digest = frozenset(self._counts)
+        return self._digest
+
+    def root(self, state: Lattice) -> bytes:
+        """``root_of(digest_of(state))``, O(1) when nothing changed."""
+        self._refresh(state)
+        if self._root is None:
+            self._root = root_of(self.digest(state))
+        return self._root
+
+    def _forget(self, fps: Tuple[bytes, ...]) -> None:
+        counts = self._counts
+        for fp in fps:
+            remaining = counts[fp] - 1
+            if remaining:
+                counts[fp] = remaining
+            else:
+                del counts[fp]
+
+    def _refresh(self, state: Lattice) -> None:
+        if state is self._state:
+            return
+        if not isinstance(state, MapLattice):
+            self._values = {}
+            self._counts = {}
+            self._digest = digest_of(state)
+            self._root = None
+            self._state = state
+            return
+        entries = state.entries
+        values = self._values
+        counts = self._counts
+        changed = False
+        if values:
+            # Keys only vanish when the tracked state was replaced
+            # outright (rebuild, shard swap) rather than inflated.
+            stale = [key for key in values if key not in entries]
+            for key in stale:
+                _, fps = values.pop(key)
+                self._forget(fps)
+                changed = True
+        for key, value in entries.items():
+            known = values.get(key)
+            if known is not None and known[0] is value:
+                continue
+            if known is not None:
+                self._forget(known[1])
+            fps = tuple(
+                fingerprint(MapLattice({key: irreducible}))
+                for irreducible in value.decompose()
+            )
+            values[key] = (value, fps)
+            for fp in fps:
+                counts[fp] = counts.get(fp, 0) + 1
+            changed = True
+        if changed:
+            self._digest = None
+            self._root = None
+        self._state = state
 
 
 @dataclass(frozen=True)

@@ -78,33 +78,56 @@ class KeyedDeltaBased(Synchronizer):
     # ------------------------------------------------------------------
 
     def sync_messages(self) -> List[Send]:
+        """Bundle per-object δ-groups, one message per neighbour.
+
+        As in :meth:`repro.sync.deltabased.DeltaBased.sync_messages`,
+        every neighbour without a BP-excluded buffer entry receives the
+        identical bundle, so those destinations share one frozen
+        message object — built, sized, and (on a real transport)
+        encoded exactly once per tick.
+        """
+        if not self.buffer:
+            return []
         sends: List[Send] = []
+        tagged = {origin for _, _, origin in self.buffer} if self.bp else frozenset()
+        shared: Optional[Message] = None
         for neighbor in self.neighbors:
-            bundle: dict = {}
-            for key, object_delta, origin in self.buffer:
-                if self.bp and origin == neighbor:
+            if neighbor in tagged:
+                bundle: dict = {}
+                for key, object_delta, origin in self.buffer:
+                    if origin == neighbor:
+                        continue
+                    current = bundle.get(key)
+                    bundle[key] = (
+                        object_delta if current is None else current.join(object_delta)
+                    )
+                if not bundle:
                     continue
-                current = bundle.get(key)
-                bundle[key] = object_delta if current is None else current.join(object_delta)
-            if not bundle:
-                continue
-            payload = MapLattice(bundle)
-            units, payload_bytes = self._payload_sizes(payload)
-            sends.append(
-                Send(
-                    dst=neighbor,
-                    message=Message(
-                        kind="keyed-delta",
-                        payload=payload,
-                        payload_units=units,
-                        payload_bytes=payload_bytes,
-                        metadata_bytes=self.size_model.int_bytes,
-                        metadata_units=1,
-                    ),
-                )
-            )
+                message = self._bundle_message(MapLattice(bundle))
+            else:
+                if shared is None:
+                    full: dict = {}
+                    for key, object_delta, _ in self.buffer:
+                        current = full.get(key)
+                        full[key] = (
+                            object_delta if current is None else current.join(object_delta)
+                        )
+                    shared = self._bundle_message(MapLattice(full))
+                message = shared
+            sends.append(Send(dst=neighbor, message=message))
         self.buffer.clear()
         return sends
+
+    def _bundle_message(self, payload: MapLattice) -> Message:
+        units, payload_bytes = self._payload_sizes(payload)
+        return Message(
+            kind="keyed-delta",
+            payload=payload,
+            payload_units=units,
+            payload_bytes=payload_bytes,
+            metadata_bytes=self.size_model.int_bytes,
+            metadata_units=1,
+        )
 
     # ------------------------------------------------------------------
     # Reception: Algorithm 1's line 14-17, per object.

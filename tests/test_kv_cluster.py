@@ -257,3 +257,50 @@ class TestRouting:
         cluster.drain()
         assert cluster.converged()
         assert not cluster.nodes[5].shards  # spare nodes hold nothing
+
+
+class TestReadReplica:
+    """``value(key, read_replica=...)``: pinned single-replica reads."""
+
+    def make(self):
+        import pytest
+
+        ring = HashRing(range(4), n_shards=8, replication=2)
+        cluster = KVCluster(ring, keyed_bp_rr)
+        cluster.update("set:pin", "add", "v")
+        cluster.run_round(updates=None)
+        cluster.drain()
+        return pytest, ring, cluster
+
+    def test_every_owner_serves_the_converged_value(self):
+        pytest, ring, cluster = self.make()
+        for owner in ring.owners("set:pin"):
+            assert cluster.value("set:pin", read_replica=owner) == {"v"}
+
+    def test_default_read_goes_to_the_coordinator(self):
+        pytest, ring, cluster = self.make()
+        coordinator = ring.coordinator("set:pin")
+        assert cluster.value("set:pin") == cluster.value(
+            "set:pin", read_replica=coordinator
+        )
+
+    def test_non_owner_is_a_routing_error(self):
+        pytest, ring, cluster = self.make()
+        from repro.kv import KVRoutingError
+
+        outsider = next(
+            r for r in ring.replicas if r not in ring.owners("set:pin")
+        )
+        with pytest.raises(KVRoutingError):
+            cluster.value("set:pin", read_replica=outsider)
+
+    def test_down_owner_is_unavailable_not_rerouted(self):
+        pytest, ring, cluster = self.make()
+        from repro.kv import Unavailable
+
+        owner = ring.owners("set:pin")[0]
+        cluster.crash(owner)
+        with pytest.raises(Unavailable):
+            cluster.value("set:pin", read_replica=owner)
+        # The unpinned read still finds a live owner.
+        assert cluster.value("set:pin") == {"v"}

@@ -277,7 +277,7 @@ class TestHandoffProtocol:
             antientropy=REPAIR,
         )
         shard = next(iter(store.shards))
-        offer = store._handoff_offer(store.shards[shard])
+        offer = store._handoff_offer(shard, store.shards[shard])
         reply = store._handle_handoff(1, shard, offer)
         assert reply.kind == "kv-handoff-ack"
         complete, root = reply.payload
