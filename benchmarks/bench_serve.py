@@ -1,0 +1,65 @@
+"""The serving layer under benchmark load: quorum reads on real processes.
+
+Unlike every other bench file, the replicas here are OS processes and
+the latencies are wall-clock socket round trips — so this file measures
+the *system* claim of the serving layer rather than a paper figure: a
+majority quorum (``r + w > rf``) eliminates observed session staleness
+at a bounded latency multiple over ``r = 1``, with read-repair traffic
+accounted separately from anti-entropy.
+
+Scale: ``quick`` keeps the cluster at 4 processes; ``paper`` widens the
+client load (the cluster stays small — process count is not the claim).
+"""
+
+import pytest
+
+from conftest import SCALE
+from repro.experiments import QuorumConfig, run_kv_quorum
+
+BATCHES = {"quick": 4, "paper": 10}[SCALE]
+OPS = {"quick": 25, "paper": 50}[SCALE]
+
+CONFIG = QuorumConfig(
+    replicas=4,
+    shards=16,
+    replication=3,
+    keys=48,
+    batches=BATCHES,
+    ops_per_batch=OPS,
+    seed=7,
+)
+
+
+@pytest.mark.benchmark(group="serve")
+def test_serve_quorum_staleness_tradeoff(benchmark, report_sink):
+    result = benchmark.pedantic(
+        run_kv_quorum, kwargs=dict(config=CONFIG), rounds=1, iterations=1
+    )
+    report_sink("serve_quorum", result.render())
+
+    loose = result.cell("r1-random")
+    primary = result.cell("r1-primary")
+    strict = result.cell("majority")
+
+    # Identical seeded load, no failures anywhere.
+    for cell in (loose, primary, strict):
+        assert cell.failed_ops == 0, f"{cell.label}: {cell.failed_ops} failed ops"
+        assert cell.ops == BATCHES * OPS
+
+    # The headline trade: random r=1 reads observe session staleness;
+    # coordinator routing hides most of it; a majority quorum closes
+    # the contract entirely.
+    assert loose.stale_session_reads > 0, (
+        "r=1 random reads observed no staleness — the probe lost its signal"
+    )
+    assert strict.stale_session_reads == 0, (
+        f"majority quorum leaked {strict.stale_session_reads} stale reads"
+    )
+
+    # Closing it costs: every extra quorum member is a synchronous
+    # round trip, and divergent replies generate attributable repair
+    # traffic (client pushes counted server-side).
+    assert strict.get_p50_ms > loose.get_p50_ms
+    assert strict.server_read_repairs >= strict.divergent_reads
+    assert strict.read_repair_payload_bytes > 0
+    assert loose.read_repair_payload_bytes == 0

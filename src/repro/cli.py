@@ -244,11 +244,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     kv.add_argument(
         "--transport",
-        choices=("sim", "tcp"),
+        choices=("sim", "tcp", "proc"),
         default="sim",
         help=(
             "replica transport: the deterministic simulator (size-model "
-            "bytes) or localhost asyncio TCP sockets (measured wire bytes)"
+            "bytes), localhost asyncio TCP sockets in one process "
+            "(measured wire bytes), or one OS process per replica with "
+            "advisory-locked WAL dirs and SIGKILL crashes (proc)"
         ),
     )
     kv.add_argument(
@@ -318,6 +320,17 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     kv.add_argument(
+        "--quorum",
+        action="store_true",
+        help=(
+            "run the quorum-read comparison instead of the protocol sweep: "
+            "a load-generating client drives a live process cluster under "
+            "r=1 vs majority read quorums and reports latency percentiles "
+            "against observed session staleness (always multi-process; "
+            "--transport is ignored)"
+        ),
+    )
+    kv.add_argument(
         "--rebalance",
         action="store_true",
         help=(
@@ -358,7 +371,57 @@ def build_parser() -> argparse.ArgumentParser:
         choices=("report",),
         help="report: render the per-phase timeline with byte breakdowns",
     )
-    trace.add_argument("path", type=str, help="JSONL trace file (from --trace)")
+    trace.add_argument(
+        "path",
+        type=str,
+        help=(
+            "JSONL trace file (from --trace), or a directory of "
+            "per-process trace files (from --transport proc), merged "
+            "by round with origin attribution"
+        ),
+    )
+
+    serve = commands.add_parser(
+        "serve-replica",
+        help=(
+            "run one replica as a serving process (spawned by the "
+            "ProcessCluster controller; rarely invoked by hand)"
+        ),
+    )
+    serve.add_argument("--replica", type=int, required=True, help="this replica's id")
+    serve.add_argument(
+        "--replica-set",
+        type=_parse_ints,
+        required=True,
+        help="comma-separated ids of the full ring membership",
+    )
+    serve.add_argument(
+        "--run-dir", type=str, required=True, help="portfile/log directory"
+    )
+    serve.add_argument("--shards", type=int, default=32)
+    serve.add_argument("--replication", type=int, default=3)
+    serve.add_argument(
+        "--algorithm", type=str, default="delta-based-bp-rr",
+        help="inner synchronizer (a KV_ALGORITHMS name)",
+    )
+    serve.add_argument(
+        "--recovery", choices=_RECOVERY_POLICIES, default="wal",
+        help="boot-time WAL policy (repair = no WAL)",
+    )
+    serve.add_argument(
+        "--wal-dir", type=str, default=None,
+        help="this replica's advisory-locked WAL directory",
+    )
+    serve.add_argument("--wal-compact-bytes", type=int, default=64 * 1024)
+    serve.add_argument("--budget", type=int, default=None)
+    serve.add_argument("--repair", type=int, default=0)
+    serve.add_argument("--repair-mode", choices=("blanket", "digest"), default="blanket")
+    serve.add_argument("--repair-fanout", type=int, default=1)
+    serve.add_argument("--no-batch", action="store_true")
+    serve.add_argument(
+        "--trace-dir", type=str, default=None,
+        help="directory for this process's r###.jsonl trace file",
+    )
     return parser
 
 
@@ -426,6 +489,29 @@ def main(argv: Optional[List[str]] = None, stream=None) -> int:
     stream = stream if stream is not None else sys.stdout
     args = build_parser().parse_args(argv)
 
+    if args.command == "serve-replica":
+        from repro.serve.replica import ReplicaOptions, ReplicaProcess
+
+        options = ReplicaOptions(
+            replica=args.replica,
+            replicas=tuple(args.replica_set),
+            run_dir=args.run_dir,
+            shards=args.shards,
+            replication=args.replication,
+            algorithm=args.algorithm,
+            wal_dir=args.wal_dir,
+            recovery=args.recovery,
+            wal_compact_bytes=args.wal_compact_bytes,
+            budget_bytes=args.budget,
+            repair_interval=args.repair,
+            repair_fanout=args.repair_fanout,
+            repair_mode=args.repair_mode,
+            batch=not args.no_batch,
+            trace_dir=args.trace_dir,
+        )
+        ReplicaProcess(options).run()
+        return 0
+
     if args.command == "trace":
         from repro.obs import read_trace, render_report
 
@@ -442,6 +528,40 @@ def main(argv: Optional[List[str]] = None, stream=None) -> int:
 
     if args.command == "kv":
         from repro.experiments import KV_ALGORITHMS
+
+        if args.quorum:
+            if args.faults or args.rebalance:
+                print(
+                    "repro kv: --quorum is its own scenario; drop --faults/"
+                    "--rebalance",
+                    file=sys.stderr,
+                )
+                return 2
+            from repro.experiments import QuorumConfig, run_kv_quorum
+
+            inner = (
+                args.algorithms[0] if args.algorithms else "delta-based-bp-rr"
+            )
+            config = QuorumConfig(
+                # The kv default (16) is sim-scale; an untouched default
+                # downshifts to 4 real processes.  Any explicit
+                # --replicas value is honored.
+                replicas=args.replicas if args.replicas != 16 else 4,
+                shards=args.shards,
+                replication=args.replication,
+                algorithm=inner,
+                keys=min(args.keys, 64),
+                zipf=args.zipf,
+                seed=args.seed,
+                recovery=args.recovery or "wal",
+                trace=args.trace,
+            )
+            started = time.perf_counter()
+            result = run_kv_quorum(config)
+            elapsed = time.perf_counter() - started
+            _emit(result.render(), args.out, stream)
+            _emit(f"[kv quorum completed in {elapsed:.1f}s]\n", args.out, stream)
+            return 0
 
         algorithms = (
             args.algorithms if args.algorithms is not None else _KV_DEFAULT_ALGORITHMS

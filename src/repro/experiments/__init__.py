@@ -53,6 +53,14 @@ from repro.experiments.kv_rebalance import (
     RebalancePhase,
     run_kv_rebalance,
 )
+from repro.experiments.kv_serve import (
+    KVQuorumResult,
+    QuorumCell,
+    QuorumConfig,
+    build_process_cluster,
+    run_kv_quorum,
+    run_kv_quorum_cell,
+)
 
 #: Registry mapping artifact identifiers to their drivers.
 EXPERIMENTS = {
@@ -86,6 +94,12 @@ __all__ = [
     "run_kv_repair_cell",
     "run_kv_repair_comparison",
     "run_kv_sweep",
+    "KVQuorumResult",
+    "QuorumCell",
+    "QuorumConfig",
+    "build_process_cluster",
+    "run_kv_quorum",
+    "run_kv_quorum_cell",
     "RetwisConfig",
     "run_retwis_sweep",
     "Figure1Result",

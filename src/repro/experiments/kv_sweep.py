@@ -36,6 +36,7 @@ equal per-shard convergence.  The strategy ladder
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from typing import Dict, Mapping, Optional, Sequence, Tuple
 
@@ -97,7 +98,11 @@ class KVConfig:
     batch: bool = True
     #: ``"sim"`` replays on the deterministic simulator (size-model
     #: bytes); ``"tcp"`` runs the same replay over localhost asyncio
-    #: TCP sockets (measured wire bytes of the envelope codec).
+    #: TCP sockets (measured wire bytes of the envelope codec);
+    #: ``"proc"`` spawns one OS process per replica
+    #: (:class:`~repro.serve.cluster.ProcessCluster`) — same wire
+    #: format as ``"tcp"``, plus real process isolation, advisory-
+    #: locked WAL directories, and SIGKILL crashes.
     transport: str = "sim"
     #: Execution model: ``"rounds"`` steps barrier-synchronized
     #: intervals (every figure in the paper); ``"free"`` drops the
@@ -139,6 +144,23 @@ class KVConfig:
                 'transport="sim" with execution="free", or drop to '
                 'execution="rounds" for TCP.'
             )
+        if self.execution == "free" and self.transport == "proc":
+            raise ValueError(
+                'execution="free" cannot run over transport="proc": replica '
+                "processes deliberately have no timers of their own (the "
+                "controller's TICK is the only anti-entropy trigger, keeping "
+                'process runs round-comparable).  Use transport="sim" for '
+                "free-running."
+            )
+        if self.transport == "proc" and self.trace is not None:
+            # Per-process trace files cannot share one JSONL sink; the
+            # proc transport writes a *directory* of them per cell.
+            if os.path.isfile(self.trace):
+                raise ValueError(
+                    'transport="proc" writes a trace directory (one file '
+                    f"per replica process), but {self.trace!r} is an "
+                    "existing file"
+                )
 
     def resolved_transport(self) -> str:
         """The transport name the cluster should actually run on."""
@@ -310,8 +332,14 @@ class KVSweepResult:
 
 
 def _open_tracer(config: KVConfig):
-    """The driver-owned tracer for ``config.trace`` (or ``None``)."""
-    if config.trace is None:
+    """The driver-owned tracer for ``config.trace`` (or ``None``).
+
+    The proc transport gets no driver tracer: each replica process
+    writes its own file into a per-cell directory and the controller
+    contributes ``controller.jsonl`` (cell markers included), merged at
+    read time by :func:`repro.obs.read_trace_dir`.
+    """
+    if config.trace is None or config.resolved_transport() == "proc":
         return None
     from repro.obs.trace import FileTraceSink, Tracer
 
@@ -346,21 +374,29 @@ def run_kv_cell(
     ring = config.ring()
     if workload is None:
         workload = config.make_workload(ring)
-    own_tracer = tracer is None and config.trace is not None
+    proc = config.resolved_transport() == "proc"
+    own_tracer = tracer is None and config.trace is not None and not proc
     if own_tracer:
         tracer = _open_tracer(config)
-    cluster = KVCluster(
-        ring,
-        KV_ALGORITHMS[algorithm],
-        antientropy=config.antientropy(),
-        config=config.cluster_config(),
-        transport=config.resolved_transport(),
-        recovery=config.recovery,
-        wal_config=config.wal_config() if config.recovery != "repair" else None,
-        trace=tracer,
-    )
+    if proc:
+        from repro.experiments.kv_serve import build_process_cluster
+
+        cluster = build_process_cluster(config, algorithm)
+        cell_tracer = cluster.tracer
+    else:
+        cluster = KVCluster(
+            ring,
+            KV_ALGORITHMS[algorithm],
+            antientropy=config.antientropy(),
+            config=config.cluster_config(),
+            transport=config.resolved_transport(),
+            recovery=config.recovery,
+            wal_config=config.wal_config() if config.recovery != "repair" else None,
+            trace=tracer,
+        )
+        cell_tracer = tracer
     end_cell = _cell_span(
-        cluster, tracer, algorithm, {"workload": workload.name}
+        cluster, cell_tracer, algorithm, {"workload": workload.name}
     )
     try:
         cluster.run_rounds(workload.rounds, workload.updates_for)
@@ -491,21 +527,35 @@ def run_kv_repair_cell(
         repair_mode=repair_mode,
         batch=config.batch,
     )
-    own_tracer = tracer is None and config.trace is not None
+    proc = config.resolved_transport() == "proc"
+    own_tracer = tracer is None and config.trace is not None and not proc
     if own_tracer:
         tracer = _open_tracer(config)
-    cluster = KVCluster(
-        ring,
-        KV_ALGORITHMS[algorithm],
-        antientropy=antientropy,
-        config=config.cluster_config(),
-        transport=config.resolved_transport(),
-        recovery=recovery,
-        wal_config=config.wal_config() if recovery != "repair" else None,
-        trace=tracer,
-    )
+    if proc:
+        from repro.experiments.kv_serve import build_process_cluster
+
+        cluster = build_process_cluster(
+            config,
+            algorithm,
+            antientropy=antientropy,
+            recovery=recovery,
+            trace_label=mode,
+        )
+        cell_tracer = cluster.tracer
+    else:
+        cluster = KVCluster(
+            ring,
+            KV_ALGORITHMS[algorithm],
+            antientropy=antientropy,
+            config=config.cluster_config(),
+            transport=config.resolved_transport(),
+            recovery=recovery,
+            wal_config=config.wal_config() if recovery != "repair" else None,
+            trace=tracer,
+        )
+        cell_tracer = tracer
     end_cell = _cell_span(
-        cluster, tracer, mode, {"algorithm": algorithm, "recovery": recovery}
+        cluster, cell_tracer, mode, {"algorithm": algorithm, "recovery": recovery}
     )
     try:
         phase = max(1, workload.rounds // 3)

@@ -211,6 +211,11 @@ class AntiEntropyScheduler:
         self._c_handoff_segments = counter("scheduler.handoff_segments")
         self._c_handoff_payload = counter("scheduler.handoff_payload_bytes")
         self._c_handoff_metadata = counter("scheduler.handoff_metadata_bytes")
+        # Client-pushed read repair (the ``repro.serve`` quorum path).
+        # Kept apart from the digest-repair counters so the quorum
+        # experiment can report read-repair traffic separately.
+        self._c_read_repairs = counter("scheduler.read_repairs")
+        self._c_read_repair_payload = counter("scheduler.read_repair_payload_bytes")
 
     # ------------------------------------------------------------------
     # Counter views (the names the stores, tests, and reports read).
@@ -268,6 +273,14 @@ class AntiEntropyScheduler:
     def handoff_metadata_bytes(self) -> int:
         return self._c_handoff_metadata.value
 
+    @property
+    def read_repairs(self) -> int:
+        return self._c_read_repairs.value
+
+    @property
+    def read_repair_payload_bytes(self) -> int:
+        return self._c_read_repair_payload.value
+
     # ------------------------------------------------------------------
     # Signals from the store: δ-path activity and peer reachability.
     # ------------------------------------------------------------------
@@ -311,6 +324,11 @@ class AntiEntropyScheduler:
 
     def note_probe(self, n: int = 1) -> None:
         self._c_probes.inc(n)
+
+    def note_read_repair(self, payload_bytes: int) -> None:
+        """Account client-pushed repair state absorbed at this replica."""
+        self._c_read_repairs.inc()
+        self._c_read_repair_payload.inc(payload_bytes)
 
     def restore_clock(self, ticks: int) -> None:
         """Re-align the tick counter after a rebuild (crash with state loss).

@@ -320,6 +320,58 @@ class KVStore(Synchronizer):
         for shard in sorted(self.shards):
             yield from self.shards[shard].state.keys()
 
+    def absorb_client_state(
+        self, fragment: MapLattice, *, payload_bytes: Optional[int] = None
+    ) -> Lattice:
+        """Absorb a client-pushed keyspace fragment (quorum write / read repair).
+
+        The serving layer's second write path: a :class:`~repro.serve.
+        client.KVClient` replicating a write to ``w`` owners — or
+        pushing the join of divergent read replies back — ships the
+        *delta* it already holds instead of re-applying the typed
+        operation (which would double-count non-idempotent ops like
+        counter increments; the lattice join is idempotent, the op is
+        not).  Keys are grouped per owning shard and flow through
+        ``absorb_state`` so every inner protocol's bookkeeping stays
+        truthful, then into the WAL like any other absorbed novelty.
+
+        Returns the join of what the fragment actually taught this
+        replica (bottom when everything was already known).  Raises
+        :class:`KVRoutingError` when any key lands on an unowned shard.
+        """
+        by_shard: Dict[int, Dict[Hashable, Lattice]] = {}
+        for key, value in fragment.entries.items():
+            shard, _ = self._route(key)
+            by_shard.setdefault(shard, {})[key] = value
+        if payload_bytes is None:
+            _, payload_bytes = self._payload_sizes(fragment)
+        self.scheduler.note_read_repair(payload_bytes)
+        absorbed_all = fragment.bottom_like()
+        for shard in sorted(by_shard):
+            inner = self.shards[shard]
+            piece = MapLattice(by_shard[shard])
+            absorbed = inner.absorb_state(piece, None)
+            # Drain, never send: the client pushes the same fragment to
+            # the other owners itself; anti-entropy covers stragglers.
+            inner.sync_messages()
+            if not absorbed.is_bottom:
+                self._wal_append(shard, absorbed)
+                absorbed_all = absorbed_all.join(absorbed)
+            if self.tracer is not None:
+                units, piece_bytes = self._payload_sizes(piece)
+                self.tracer.emit(
+                    "read-repair",
+                    replica=self.replica,
+                    shard=shard,
+                    payload_bytes=piece_bytes,
+                    payload_units=units,
+                    extra={
+                        "keys": len(piece.entries),
+                        "absorbed": not absorbed.is_bottom,
+                    },
+                )
+        return absorbed_all
+
     def _route(self, key: Hashable) -> Tuple[int, Synchronizer]:
         """Resolve a key to its shard id and synchronizer in one hash."""
         shard = self.ring.shard_of(key)

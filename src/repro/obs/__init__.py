@@ -35,6 +35,7 @@ from repro.obs.trace import (
     decode_event,
     encode_event,
     read_trace,
+    read_trace_dir,
 )
 
 __all__ = [
@@ -54,6 +55,7 @@ __all__ = [
     "encode_event",
     "kind_totals",
     "read_trace",
+    "read_trace_dir",
     "render_report",
     "segment_phases",
     "split_cells",

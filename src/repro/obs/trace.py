@@ -66,6 +66,9 @@ EVENT_TYPES = (
     "cell-start",       # an experiment cell began (label = algorithm/mode)
     "cell-end",
     "timing",           # hot-path timer snapshot (extra = timer dict)
+    # client front end (repro.serve)
+    "client-op",        # a client request served (kind = get/put/remove/...)
+    "read-repair",      # client-pushed repair state absorbed by a replica
 )
 
 _EVENT_TYPE_SET = frozenset(EVENT_TYPES)
@@ -95,6 +98,10 @@ class TraceEvent:
         payload_units / metadata_units: The paper's element-count
             accounting.
         label: Free-form tag (algorithm name for ``cell-start``).
+        origin: The replica whose process *wrote* this event.  In
+            single-process runs this stays ``None`` (one stream, one
+            writer); multi-process runs stamp it so per-process trace
+            files can be merged offline without losing attribution.
         extra: Event-specific JSON-native details.
     """
 
@@ -110,6 +117,7 @@ class TraceEvent:
     payload_units: int = 0
     metadata_units: int = 0
     label: Optional[str] = None
+    origin: Optional[int] = None
     extra: Dict[str, Any] = field(default_factory=dict)
 
 
@@ -125,6 +133,7 @@ _DEFAULTS = {
     "payload_units": 0,
     "metadata_units": 0,
     "label": None,
+    "origin": None,
 }
 
 _FIELD_NAMES = tuple(f.name for f in fields(TraceEvent))
@@ -225,8 +234,9 @@ class Tracer:
     time and round.
     """
 
-    def __init__(self, sink: TraceSink) -> None:
+    def __init__(self, sink: TraceSink, *, origin: Optional[int] = None) -> None:
         self.sink = sink
+        self.origin = origin
         self.events_written = 0
         self._clock: Callable[[], float] = lambda: 0.0
         self._rounds: Callable[[], Optional[int]] = lambda: None
@@ -274,6 +284,7 @@ class Tracer:
             payload_units=payload_units,
             metadata_units=metadata_units,
             label=label,
+            origin=self.origin,
             extra=extra or {},
         )
         self.sink.write(encode_event(event))
@@ -290,10 +301,15 @@ class Tracer:
 def read_trace(source: Union[str, TraceSink, Iterable[str]]) -> List[TraceEvent]:
     """Decode a whole trace from a file path, a sink, or raw lines.
 
+    A path naming a *directory* is treated as a set of per-process
+    trace files and merged via :func:`read_trace_dir`.
+
     Blank lines are skipped (a crashed writer's partial final line will
     instead raise — a trace that lies is worse than one that fails).
     """
     if isinstance(source, str):
+        if os.path.isdir(source):
+            return read_trace_dir(source)
         with open(source, "r", encoding="utf-8") as handle:
             lines: Iterable[str] = handle.read().splitlines()
     elif isinstance(source, MemoryTraceSink):
@@ -303,3 +319,31 @@ def read_trace(source: Union[str, TraceSink, Iterable[str]]) -> List[TraceEvent]
     else:
         lines = source
     return [decode_event(line) for line in lines if line.strip()]
+
+
+def read_trace_dir(path: str) -> List[TraceEvent]:
+    """Merge a directory of per-process ``.jsonl`` traces into one stream.
+
+    Each replica process writes its own file (clocks start at process
+    boot, so raw times are only comparable *within* a file); the merge
+    therefore orders by ``(round, time)`` — the round counter is the
+    cluster-wide logical clock the controller distributes — with the
+    origin replica as the tie-break.  Events missing a round (boot-time
+    replays, client ops between rounds) sort by time alone within
+    round ``-1``.
+    """
+    events: List[TraceEvent] = []
+    for name in sorted(os.listdir(path)):
+        if name.startswith(".") or not name.endswith(".jsonl"):
+            continue
+        full = os.path.join(path, name)
+        if os.path.isfile(full):
+            events.extend(read_trace(full))
+    events.sort(
+        key=lambda e: (
+            -1 if e.round is None else e.round,
+            e.time,
+            -1 if e.origin is None else e.origin,
+        )
+    )
+    return events

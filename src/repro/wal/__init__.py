@@ -42,7 +42,7 @@ from repro.wal.log import (
     pack_record,
     unpack_records,
 )
-from repro.wal.storage import FileStorage, MemoryStorage, Storage
+from repro.wal.storage import FileStorage, MemoryStorage, Storage, StorageLockError
 
 __all__ = [
     "CRC_BYTES",
@@ -51,6 +51,7 @@ __all__ = [
     "ReplicaWal",
     "ShardLog",
     "Storage",
+    "StorageLockError",
     "WalConfig",
     "WalFencedError",
     "pack_record",

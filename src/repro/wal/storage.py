@@ -26,12 +26,25 @@ from __future__ import annotations
 
 import os
 from abc import ABC, abstractmethod
-from typing import Dict, Tuple
+from typing import IO, Dict, Optional, Tuple
+
+try:  # pragma: no cover - fcntl is present on every POSIX python
+    import fcntl
+except ImportError:  # pragma: no cover - windows fallback: locking disabled
+    fcntl = None  # type: ignore[assignment]
 
 #: Suffix of in-flight replacement files; readers never look at these,
 #: so a crash between writing the temp file and the atomic rename
 #: leaves the original log untouched.
 TMP_SUFFIX = ".tmp"
+
+#: Name of the advisory lock file inside a locked storage directory.
+#: Starts with a dot so ``names()`` never reports it as a log.
+LOCK_NAME = ".lock"
+
+
+class StorageLockError(RuntimeError):
+    """Another live process holds this storage directory's lock."""
 
 
 class Storage(ABC):
@@ -99,12 +112,56 @@ class FileStorage(Storage):
             care about crash *semantics* (which the atomic rename
             provides against process crashes), not about surviving
             power loss on the CI host.
+        lock: Take an advisory ``flock`` on the directory so two
+            processes cannot serve the same replica's WALs at once.
+            The second opener fails immediately with
+            :class:`StorageLockError` naming the pid that holds the
+            lock.  The lock dies with the process (including SIGKILL),
+            so a respawn over the surviving directory needs no cleanup.
+            Defaults off: in-process tests and single-process
+            experiments reopen the same directory freely.
     """
 
-    def __init__(self, root: str, *, fsync: bool = False) -> None:
+    def __init__(self, root: str, *, fsync: bool = False, lock: bool = False) -> None:
         self.root = root
         self.fsync = fsync
         os.makedirs(root, exist_ok=True)
+        self._lock_handle: Optional[IO[str]] = None
+        if lock:
+            self._acquire_lock()
+
+    def _acquire_lock(self) -> None:
+        if fcntl is None:  # pragma: no cover - non-POSIX hosts
+            raise StorageLockError("advisory locking needs fcntl (POSIX only)")
+        path = os.path.join(self.root, LOCK_NAME)
+        handle = open(path, "a+")
+        try:
+            fcntl.flock(handle.fileno(), fcntl.LOCK_EX | fcntl.LOCK_NB)
+        except OSError:
+            handle.seek(0)
+            holder = handle.read().strip() or "unknown"
+            handle.close()
+            raise StorageLockError(
+                f"WAL directory {self.root!r} is already locked by pid {holder}"
+            ) from None
+        handle.seek(0)
+        handle.truncate()
+        handle.write(str(os.getpid()))
+        handle.flush()
+        self._lock_handle = handle
+
+    @property
+    def locked(self) -> bool:
+        """Whether this instance holds the directory's advisory lock."""
+        return self._lock_handle is not None
+
+    def release_lock(self) -> None:
+        """Drop the advisory lock (idempotent; also happens at exit)."""
+        handle, self._lock_handle = self._lock_handle, None
+        if handle is not None and not handle.closed:
+            if fcntl is not None:
+                fcntl.flock(handle.fileno(), fcntl.LOCK_UN)
+            handle.close()
 
     def _path(self, name: str) -> str:
         if not name or "/" in name or "\\" in name or name.startswith("."):
