@@ -208,6 +208,7 @@ class CausalContext:
         cached = self._hash
         if cached is None:
             cached = hash((frozenset(self.compact.items()), self.cloud))
+            # repro: lint-ok[frozen-mutation] sanctioned memo: the hash is a pure function of the frozen context
             object.__setattr__(self, "_hash", cached)
         return cached
 

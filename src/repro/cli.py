@@ -381,6 +381,46 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
 
+    lint = commands.add_parser(
+        "lint",
+        help=(
+            "run the invariant linter (determinism, registry "
+            "completeness, trace pairing, frozen-mutation allowlist, "
+            "async/exception hygiene) over source trees"
+        ),
+    )
+    lint.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    lint.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    lint.add_argument(
+        "--baseline",
+        type=str,
+        default="lint-baseline.json",
+        help=(
+            "accepted-findings baseline file; a missing file is an "
+            "empty baseline (default: lint-baseline.json)"
+        ),
+    )
+    lint.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="accept the current findings into the baseline and exit 0",
+    )
+    lint.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalogue and exit",
+    )
+
     serve = commands.add_parser(
         "serve-replica",
         help=(
@@ -477,6 +517,65 @@ def _kv_config(args: argparse.Namespace) -> KVConfig:
     )
 
 
+def _run_lint(args: argparse.Namespace, stream) -> int:
+    """The ``repro lint`` subcommand; returns a process exit code.
+
+    0 = clean (every finding fixed, suppressed in place, or baselined),
+    1 = new findings, 2 = usage problems (bad paths, unreadable
+    baseline).  ``--write-baseline`` accepts the current findings and
+    exits 0 so the gate can be introduced before the debt is paid.
+    """
+    from repro.lint import (
+        ALL_RULES,
+        read_baseline,
+        render_json,
+        render_text,
+        rule_catalogue,
+        run_rules,
+        write_baseline,
+    )
+    from repro.lint.engine import load_project
+
+    if args.list_rules:
+        for rule_id, summary in sorted(rule_catalogue().items()):
+            print(f"{rule_id}: {summary}", file=stream)
+        return 0
+    try:
+        project = load_project(args.paths)
+    except FileNotFoundError as exc:
+        print(f"repro lint: {exc}", file=sys.stderr)
+        return 2
+    result = run_rules(project, ALL_RULES())
+    if args.write_baseline:
+        write_baseline(args.baseline, result.findings, project)
+        print(
+            f"accepted {len(result.findings)} finding(s) into "
+            f"{args.baseline}",
+            file=stream,
+        )
+        return 0
+    try:
+        baseline = read_baseline(args.baseline)
+    except (OSError, ValueError) as exc:
+        print(
+            f"repro lint: cannot read baseline {args.baseline}: {exc}",
+            file=sys.stderr,
+        )
+        return 2
+    new, baselined, stale = baseline.split(result.findings, project)
+    render = render_json if args.format == "json" else render_text
+    print(
+        render(
+            result,
+            baselined=baselined,
+            stale_baseline=stale,
+            new_findings=new,
+        ),
+        file=stream,
+    )
+    return 1 if new else 0
+
+
 def _emit(text: str, out_path: Optional[str], stream) -> None:
     print(text, file=stream)
     if out_path:
@@ -511,6 +610,9 @@ def main(argv: Optional[List[str]] = None, stream=None) -> int:
         )
         ReplicaProcess(options).run()
         return 0
+
+    if args.command == "lint":
+        return _run_lint(args, stream)
 
     if args.command == "trace":
         from repro.obs import read_trace, render_report

@@ -115,6 +115,7 @@ class MapLattice(Lattice):
         cached = self._units_cache
         if cached is None:
             cached = sum(value.size_units() for value in self.entries.values())
+            # repro: lint-ok[frozen-mutation] sanctioned memo: unit count is a pure function of the frozen entries
             object.__setattr__(self, "_units_cache", cached)
         return cached
 
@@ -126,6 +127,7 @@ class MapLattice(Lattice):
         total = 0
         for key, value in self.entries.items():
             total += model.sizeof(key) + value.size_bytes(model)
+        # repro: lint-ok[frozen-mutation] sanctioned memo: byte size is a pure function of (frozen entries, model)
         object.__setattr__(self, "_bytes_cache", (model, total))
         return total
 

@@ -140,6 +140,7 @@ class Chain(Lattice):
         cached = self._bytes_cache
         if cached is None or cached[0] is not model:
             cached = (model, model.sizeof(self.value))
+            # repro: lint-ok[frozen-mutation] sanctioned memo: byte size is a pure function of (frozen value, model)
             object.__setattr__(self, "_bytes_cache", cached)
         return cached[1]
 

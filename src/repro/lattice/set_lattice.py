@@ -70,6 +70,7 @@ class SetLattice(Lattice):
         cached = self._bytes_cache
         if cached is None or cached[0] is not model:
             cached = (model, sum(model.sizeof(element) for element in self.elements))
+            # repro: lint-ok[frozen-mutation] sanctioned memo: byte size is a pure function of (frozen elements, model)
             object.__setattr__(self, "_bytes_cache", cached)
         return cached[1]
 

@@ -1,0 +1,57 @@
+"""Static analysis for the repository's load-bearing conventions.
+
+The system's correctness rests on invariants no runtime test states
+directly: byte-identical sim fingerprints require that the
+deterministic core never reads wall clocks or unseeded RNGs, every
+:data:`~repro.codec.WIRE_KINDS` entry needs an encode *and* a decode
+branch, every transport ``record_message`` site must emit a paired
+``send`` trace event with identical byte arguments, and the frozen
+:class:`~repro.sync.protocol.Message` may be mutated only at sanctioned
+memo sites.  ``repro.lint`` turns those conventions into checked rules:
+an AST-visitor rule engine (:mod:`repro.lint.engine`), the rule
+catalogue (:mod:`repro.lint.rules`), a content-fingerprinted baseline
+for accepted legacy findings (:mod:`repro.lint.baseline`), and text /
+JSON reporters (:mod:`repro.lint.report`).  ``python -m repro lint src``
+is the CI gate; ``# repro: lint-ok[rule-id] reason`` suppresses one
+finding in place.
+"""
+
+from repro.lint.baseline import (
+    Baseline,
+    finding_fingerprint,
+    read_baseline,
+    write_baseline,
+)
+from repro.lint.engine import (
+    Finding,
+    LintResult,
+    Module,
+    Project,
+    Rule,
+    Suppression,
+    lint_paths,
+    load_project,
+    run_rules,
+)
+from repro.lint.report import render_json, render_text
+from repro.lint.rules import ALL_RULES, rule_catalogue
+
+__all__ = [
+    "ALL_RULES",
+    "Baseline",
+    "Finding",
+    "LintResult",
+    "Module",
+    "Project",
+    "Rule",
+    "Suppression",
+    "finding_fingerprint",
+    "lint_paths",
+    "load_project",
+    "read_baseline",
+    "render_json",
+    "render_text",
+    "rule_catalogue",
+    "run_rules",
+    "write_baseline",
+]

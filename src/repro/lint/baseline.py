@@ -1,0 +1,134 @@
+"""Accepted-legacy-finding baseline.
+
+A baseline lets the CI gate go red only on *new* findings while old,
+explicitly accepted ones ride along.  Entries are keyed by a content
+fingerprint — ``sha256(rule · normalized path · stripped source line)``
+— not by line number, so unrelated edits above a baselined site do not
+churn the file.  The checked-in baseline for this repository is empty
+(every finding is either fixed or suppressed in place with a reason);
+the machinery exists so a future sweep that uncovers dozens of legacy
+sites can land the rule first and burn the debt down incrementally:
+
+    python -m repro lint src --write-baseline   # accept current findings
+    python -m repro lint src                    # now gates new ones only
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.lint.engine import Finding, Project
+
+#: Format marker so a future layout change can migrate old files.
+BASELINE_VERSION = 1
+
+
+def _normalize_path(path: str) -> str:
+    return path.replace(os.sep, "/")
+
+
+def finding_fingerprint(finding: Finding, line_text: str) -> str:
+    """Content key for one finding; stable under line-number drift."""
+    basis = "\0".join(
+        (finding.rule, _normalize_path(finding.path), line_text.strip())
+    )
+    return hashlib.sha256(basis.encode("utf-8")).hexdigest()[:16]
+
+
+@dataclass
+class Baseline:
+    """The parsed baseline: fingerprint → entry (rule/path kept for
+    human-readable diffs of the JSON file)."""
+
+    entries: Dict[str, Dict[str, str]]
+
+    @property
+    def empty(self) -> bool:
+        return not self.entries
+
+    def split(
+        self, findings: Sequence[Finding], project: Project
+    ) -> Tuple[List[Finding], List[Finding], List[str]]:
+        """Partition findings into (new, baselined) and report stale
+        fingerprints — entries whose finding no longer occurs, which
+        should be dropped with ``--write-baseline``."""
+        new: List[Finding] = []
+        matched: List[Finding] = []
+        seen: set = set()
+        for finding in findings:
+            fingerprint = finding_fingerprint(
+                finding, _line_text(project, finding)
+            )
+            if fingerprint in self.entries:
+                matched.append(finding)
+                seen.add(fingerprint)
+            else:
+                new.append(finding)
+        stale = sorted(set(self.entries) - seen)
+        return new, matched, stale
+
+
+def _line_text(project: Project, finding: Finding) -> str:
+    module = next(
+        (m for m in project.modules if m.path == finding.path), None
+    )
+    return module.line_text(finding.line) if module is not None else ""
+
+
+def read_baseline(path: str) -> Baseline:
+    """Load a baseline file; a missing file is an empty baseline."""
+    if not os.path.exists(path):
+        return Baseline(entries={})
+    with open(path, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    if not isinstance(payload, dict) or "entries" not in payload:
+        raise ValueError(f"baseline {path!r} is not a lint baseline file")
+    entries = {
+        entry["fingerprint"]: {
+            "rule": entry.get("rule", ""),
+            "path": entry.get("path", ""),
+        }
+        for entry in payload["entries"]
+    }
+    return Baseline(entries=entries)
+
+
+def write_baseline(
+    path: str, findings: Sequence[Finding], project: Project
+) -> Baseline:
+    """Accept ``findings`` as the new baseline and write the file.
+
+    Entries are sorted by (path, rule, fingerprint) so the JSON is
+    reviewable and diff-stable.
+    """
+    entries = {}
+    for finding in findings:
+        fingerprint = finding_fingerprint(
+            finding, _line_text(project, finding)
+        )
+        entries[fingerprint] = {
+            "rule": finding.rule,
+            "path": _normalize_path(finding.path),
+        }
+    payload = {
+        "version": BASELINE_VERSION,
+        "entries": [
+            {
+                "fingerprint": fingerprint,
+                "rule": entry["rule"],
+                "path": entry["path"],
+            }
+            for fingerprint, entry in sorted(
+                entries.items(),
+                key=lambda kv: (kv[1]["path"], kv[1]["rule"], kv[0]),
+            )
+        ],
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return Baseline(entries=entries)

@@ -1,0 +1,88 @@
+"""Reporters: human-readable text and machine-readable JSON.
+
+Both render the same partitioned view — new findings (the gate), then
+counts of baselined and suppressed ones, then stale baseline entries —
+so a CI log and a tooling consumer see the identical verdict.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import List, Optional, Sequence
+
+from repro.lint.engine import Finding, LintResult
+
+
+def _format_finding(finding: Finding) -> str:
+    return (
+        f"{finding.path}:{finding.line}:{finding.col + 1}: "
+        f"{finding.severity}[{finding.rule}] {finding.message}"
+    )
+
+
+def render_text(
+    result: LintResult,
+    baselined: Sequence[Finding] = (),
+    stale_baseline: Sequence[str] = (),
+    new_findings: Optional[Sequence[Finding]] = None,
+) -> str:
+    """The terminal/CI report; one line per finding plus a summary."""
+    findings = (
+        list(new_findings) if new_findings is not None else result.findings
+    )
+    lines: List[str] = [_format_finding(f) for f in findings]
+    summary = (
+        f"{len(findings)} finding{'s' if len(findings) != 1 else ''} "
+        f"in {result.files} file{'s' if result.files != 1 else ''}"
+    )
+    details = []
+    if baselined:
+        details.append(f"{len(baselined)} baselined")
+    if result.suppressed:
+        details.append(f"{len(result.suppressed)} suppressed in place")
+    if details:
+        summary += " (" + ", ".join(details) + ")"
+    lines.append(summary)
+    if stale_baseline:
+        lines.append(
+            f"note: {len(stale_baseline)} stale baseline entr"
+            f"{'ies' if len(stale_baseline) != 1 else 'y'} no longer "
+            "match; refresh with --write-baseline"
+        )
+    return "\n".join(lines)
+
+
+def render_json(
+    result: LintResult,
+    baselined: Sequence[Finding] = (),
+    stale_baseline: Sequence[str] = (),
+    new_findings: Optional[Sequence[Finding]] = None,
+) -> str:
+    """Stable-keyed JSON for tooling; findings sorted like the text."""
+    findings = (
+        list(new_findings) if new_findings is not None else result.findings
+    )
+
+    def encode(finding: Finding) -> dict:
+        return {
+            "rule": finding.rule,
+            "path": finding.path,
+            "line": finding.line,
+            "col": finding.col,
+            "severity": finding.severity,
+            "message": finding.message,
+        }
+
+    payload = {
+        "findings": [encode(f) for f in findings],
+        "baselined": [encode(f) for f in baselined],
+        "suppressed": [encode(f) for f in result.suppressed],
+        "stale_baseline": list(stale_baseline),
+        "summary": {
+            "files": result.files,
+            "findings": len(findings),
+            "baselined": len(baselined),
+            "suppressed": len(result.suppressed),
+        },
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)

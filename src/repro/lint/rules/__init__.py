@@ -1,0 +1,45 @@
+"""The rule catalogue.
+
+Rules are instantiated fresh per pass (they are stateless, but the
+list is cheap and a future configurable rule may not be).  The ids
+here — plus the engine's own ``parse-error`` and ``suppression`` — are
+the valid targets of ``# repro: lint-ok[rule-id] reason`` comments and
+the keys of baseline entries.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.lint.engine import Rule
+from repro.lint.rules.determinism import GlobalRngRule, WallClockRule
+from repro.lint.rules.frozen import FrozenMutationRule
+from repro.lint.rules.hygiene import AsyncBlockingRule, BroadExceptRule
+from repro.lint.rules.pairing import TracePairingRule
+from repro.lint.rules.registries import (
+    EventRegistryRule,
+    VerbRegistryRule,
+    WireRegistryRule,
+)
+
+RULE_CLASSES = (
+    GlobalRngRule,
+    WallClockRule,
+    WireRegistryRule,
+    VerbRegistryRule,
+    EventRegistryRule,
+    TracePairingRule,
+    FrozenMutationRule,
+    AsyncBlockingRule,
+    BroadExceptRule,
+)
+
+
+def ALL_RULES() -> List[Rule]:
+    """A fresh instance of every rule, in catalogue order."""
+    return [rule_class() for rule_class in RULE_CLASSES]
+
+
+def rule_catalogue() -> Dict[str, str]:
+    """rule id → one-line summary, for ``lint --list-rules``."""
+    return {rule.id: rule.summary for rule in ALL_RULES()}

@@ -1,0 +1,134 @@
+"""``trace-pairing``: metrics and trace must account the same bytes.
+
+The observability contract since PR 6: ``trace_totals(events)`` equals
+the live :class:`MetricsCollector`'s payload/metadata/message totals
+*exactly*, on sim and on TCP.  That only holds because every transport
+site that constructs a :class:`MessageRecord` also emits a ``send``
+trace event at the same point with the *identical byte expressions*.
+The rule checks exactly that, lexically: each
+``<collector>.record_message(MessageRecord(...))`` call must share its
+enclosing function with a ``.emit("send", ...)`` whose
+``payload_bytes`` / ``metadata_bytes`` / ``payload_units`` /
+``metadata_units`` keyword expressions are AST-identical to the
+record's.  Forwarding calls that pass an existing record object along
+(``TeeCollector``) construct nothing and are out of scope by design.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional
+
+from repro.lint.engine import Finding, Project, Rule
+from repro.lint.rules.common import emit_call_type, walk_with_function
+
+#: The byte/unit arguments whose expressions must match between the
+#: MessageRecord constructor and the paired ``send`` emit.
+PAIRED_ARGUMENTS = (
+    "payload_bytes",
+    "metadata_bytes",
+    "payload_units",
+    "metadata_units",
+)
+
+
+def _callee_name(node: ast.expr) -> Optional[str]:
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def _keyword_map(call: ast.Call) -> Dict[str, ast.expr]:
+    return {kw.arg: kw.value for kw in call.keywords if kw.arg is not None}
+
+
+class TracePairingRule(Rule):
+    id = "trace-pairing"
+    summary = (
+        "every record_message(MessageRecord(...)) site emits a paired "
+        'send trace event with identical byte expressions'
+    )
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        for module in project.modules:
+            for node, function in walk_with_function(module.tree):
+                if not (
+                    isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr == "record_message"
+                    and node.args
+                    and isinstance(node.args[0], ast.Call)
+                    and _callee_name(node.args[0].func) == "MessageRecord"
+                ):
+                    continue
+                record = node.args[0]
+                if function is None:
+                    yield self.finding(
+                        module,
+                        node,
+                        "record_message(MessageRecord(...)) at module "
+                        "level cannot be paired with a send trace emit",
+                    )
+                    continue
+                in_function = [
+                    candidate
+                    for candidate in ast.walk(function)
+                    if isinstance(candidate, ast.Call)
+                    and emit_call_type(candidate) == "send"
+                ]
+                if not in_function:
+                    yield self.finding(
+                        module,
+                        node,
+                        "record_message(MessageRecord(...)) has no "
+                        '.emit("send", ...) in the same function: trace '
+                        "totals will drift from collector totals",
+                    )
+                    continue
+                yield from self._check_arguments(
+                    module, node, record, in_function
+                )
+
+    def _check_arguments(
+        self,
+        module,
+        site: ast.Call,
+        record: ast.Call,
+        emits: List[ast.Call],
+    ) -> Iterator[Finding]:
+        record_kwargs = _keyword_map(record)
+        # One emit must match *all* paired arguments; report against
+        # the best candidate (the one with the fewest mismatches).
+        best_problems: Optional[List[str]] = None
+        for emit in emits:
+            emit_kwargs = _keyword_map(emit)
+            problems: List[str] = []
+            for argument in PAIRED_ARGUMENTS:
+                record_expr = record_kwargs.get(argument)
+                emit_expr = emit_kwargs.get(argument)
+                if record_expr is None or emit_expr is None:
+                    missing_side = (
+                        "MessageRecord" if record_expr is None else "emit"
+                    )
+                    problems.append(
+                        f"{argument} is not a keyword argument of the "
+                        f"{missing_side} call"
+                    )
+                elif ast.dump(record_expr) != ast.dump(emit_expr):
+                    problems.append(
+                        f"{argument} differs between MessageRecord "
+                        f"({ast.unparse(record_expr)}) and the send "
+                        f"emit ({ast.unparse(emit_expr)})"
+                    )
+            if not problems:
+                return
+            if best_problems is None or len(problems) < len(best_problems):
+                best_problems = problems
+        for problem in best_problems or []:
+            yield self.finding(
+                module,
+                site,
+                f"record_message/send trace pairing broken: {problem}",
+            )

@@ -1,0 +1,235 @@
+"""Registry-completeness rules.
+
+Three registries drive runtime dispatch by data, so a new entry that
+misses its handler fails deep inside a run — a ``KeyError`` three
+layers under a TCP settle loop, or a ``Tracer.emit`` rejection halfway
+through a fault schedule.  These rules move that failure to lint time:
+
+``wire-registry``
+    Every :data:`WIRE_KINDS` entry must have a ``(writer, reader)``
+    pair in ``_WIRE_CODECS`` — the one table both ``encode_message``
+    and ``decode_message`` dispatch through — and the table must not
+    carry kinds missing from the wire registry (their uvarint tag
+    would be unassigned).
+
+``verb-registry``
+    Every verb in ``serve.frames._VERB_NAMES`` must appear in an
+    equality dispatch somewhere in the scanned tree (the replica's
+    ``verb == frames.X`` chain).  A verb with a frame codec but no
+    handler answers every request with ``ERR_BAD_REQUEST``.
+
+``event-registry``
+    Every literal ``.emit("type", ...)`` must name a catalogued
+    :data:`EVENT_TYPES` entry (``Tracer.emit`` raises on unknown types
+    at runtime — this catches the typo before a traced run does), and
+    every catalogued entry must be referenced by some call argument in
+    the tree, so the catalogue cannot grow orphans.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.lint.engine import Finding, Module, Project, Rule
+from repro.lint.rules.common import (
+    call_argument_strings,
+    emit_call_type,
+    string_tuple_assignment,
+)
+
+
+def _find_string_tuple(
+    project: Project, name: str
+) -> Optional[Tuple[Module, ast.Assign, Tuple[str, ...], Tuple[ast.Constant, ...]]]:
+    for module, node in project.assignments(name):
+        decoded = string_tuple_assignment(node)
+        if decoded is not None:
+            texts, elements = decoded
+            return module, node, texts, elements
+    return None
+
+
+class WireRegistryRule(Rule):
+    id = "wire-registry"
+    summary = (
+        "every WIRE_KINDS entry has a (writer, reader) pair in "
+        "_WIRE_CODECS and vice versa"
+    )
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        kinds = _find_string_tuple(project, "WIRE_KINDS")
+        if kinds is None:
+            return
+        module, kinds_node, kind_names, kind_elements = kinds
+        codecs = self._codec_table(module)
+        if codecs is None:
+            yield self.finding(
+                module,
+                kinds_node,
+                "WIRE_KINDS is defined but no _WIRE_CODECS dispatch "
+                "table was found in the same module",
+            )
+            return
+        entries, table_keys = codecs
+        for name, element in zip(kind_names, kind_elements):
+            if name not in entries:
+                yield self.finding(
+                    module,
+                    element,
+                    f"wire kind {name!r} has no (writer, reader) entry "
+                    "in _WIRE_CODECS: it cannot be encoded or decoded",
+                )
+                continue
+            value = entries[name]
+            if not (
+                isinstance(value, (ast.Tuple, ast.List))
+                and len(value.elts) == 2
+            ):
+                yield self.finding(
+                    module,
+                    value,
+                    f"wire kind {name!r} must map to a (writer, reader) "
+                    "pair so both encode and decode dispatch reach it",
+                )
+        for name, key_node in table_keys:
+            if name not in kind_names:
+                yield self.finding(
+                    module,
+                    key_node,
+                    f"_WIRE_CODECS entry {name!r} is not in WIRE_KINDS: "
+                    "it has no uvarint tag and can never be dispatched",
+                )
+
+    def _codec_table(
+        self, module: Module
+    ) -> Optional[Tuple[Dict[str, ast.AST], List[Tuple[str, ast.AST]]]]:
+        for node in module.tree.body:
+            if not (
+                isinstance(node, ast.Assign)
+                and any(
+                    isinstance(t, ast.Name) and t.id == "_WIRE_CODECS"
+                    for t in node.targets
+                )
+                and isinstance(node.value, ast.Dict)
+            ):
+                continue
+            entries: Dict[str, ast.AST] = {}
+            keys: List[Tuple[str, ast.AST]] = []
+            for key, value in zip(node.value.keys, node.value.values):
+                if isinstance(key, ast.Constant) and isinstance(
+                    key.value, str
+                ):
+                    entries[key.value] = value
+                    keys.append((key.value, key))
+            return entries, keys
+        return None
+
+
+class VerbRegistryRule(Rule):
+    id = "verb-registry"
+    summary = (
+        "every serve.frames verb (the _VERB_NAMES keys) appears in an "
+        "equality dispatch somewhere in the scanned tree"
+    )
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        table = self._verb_table(project)
+        if table is None:
+            return
+        module, node, verbs = table
+        compared = self._compared_names(project)
+        # Gate: if *no* verb is dispatched anywhere, the handler module
+        # is outside the scan (e.g. linting frames.py alone) and the
+        # rule has nothing sound to say.
+        if not (verbs & compared):
+            return
+        for verb in sorted(verbs - compared):
+            yield self.finding(
+                module,
+                node,
+                f"verb {verb} has a frame name but no `== frames.{verb}` "
+                "dispatch anywhere in the scanned tree: requests with it "
+                "die as ERR_BAD_REQUEST",
+            )
+
+    def _verb_table(
+        self, project: Project
+    ) -> Optional[Tuple[Module, ast.Assign, Set[str]]]:
+        for module, node in project.assignments("_VERB_NAMES"):
+            if not isinstance(node.value, ast.Dict):
+                continue
+            verbs = {
+                key.id
+                for key in node.value.keys
+                if isinstance(key, ast.Name)
+            }
+            if verbs:
+                return module, node, verbs
+        return None
+
+    def _compared_names(self, project: Project) -> Set[str]:
+        names: Set[str] = set()
+        for module in project.modules:
+            for node in ast.walk(module.tree):
+                if not isinstance(node, ast.Compare):
+                    continue
+                for side in [node.left] + list(node.comparators):
+                    if isinstance(side, ast.Attribute):
+                        names.add(side.attr)
+                    elif isinstance(side, ast.Name):
+                        names.add(side.id)
+        return names
+
+
+class EventRegistryRule(Rule):
+    id = "event-registry"
+    summary = (
+        "every literal .emit(type) is catalogued in EVENT_TYPES, and "
+        "no catalogue entry is an orphan nothing references"
+    )
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        catalogue = _find_string_tuple(project, "EVENT_TYPES")
+        if catalogue is None:
+            return
+        module, _, names, elements = catalogue
+        known = set(names)
+        emitted: Set[str] = set()
+        for emitting, node, event_type in self._literal_emits(project):
+            emitted.add(event_type)
+            if event_type not in known:
+                yield self.finding(
+                    emitting,
+                    node,
+                    f"emit({event_type!r}) is not in EVENT_TYPES: "
+                    "Tracer.emit will reject it at runtime — catalogue "
+                    "the type or fix the typo",
+                )
+        # Orphan check only when the emitting side of the codebase is
+        # in scope at all; linting the catalogue module alone proves
+        # nothing about use.
+        if not (emitted & known):
+            return
+        used: Set[str] = set()
+        for scanned in project.modules:
+            used.update(call_argument_strings(scanned.tree))
+        for name, element in zip(names, elements):
+            if name not in used:
+                yield self.finding(
+                    module,
+                    element,
+                    f"EVENT_TYPES entry {name!r} is referenced by no "
+                    "call in the scanned tree: dead catalogue entries "
+                    "hide real coverage gaps — emit it or retire it",
+                )
+
+    def _literal_emits(
+        self, project: Project
+    ) -> Iterator[Tuple[Module, ast.Call, str]]:
+        for module in project.modules:
+            for node in ast.walk(module.tree):
+                if isinstance(node, ast.Call):
+                    event_type = emit_call_type(node)
+                    if event_type is not None:
+                        yield module, node, event_type

@@ -49,6 +49,7 @@ import asyncio
 import functools
 import struct
 import time
+import warnings
 from collections import deque
 from io import BytesIO
 from typing import Deque, Dict, List, Optional, Sequence, Tuple
@@ -350,5 +351,13 @@ class AsyncTcpTransport(Transport):
     def __del__(self) -> None:  # pragma: no cover - defensive cleanup
         try:
             self.close()
-        except Exception:
-            pass
+        except (RuntimeError, OSError) as exc:
+            # A destructor must not raise.  close() entered this late
+            # can find the loop half-dead (RuntimeError) or the sockets
+            # already torn down (OSError); report the leak the way
+            # CPython reports unclosed resources rather than hiding it.
+            warnings.warn(
+                f"AsyncTcpTransport.__del__: close failed: {exc!r}",
+                ResourceWarning,
+                source=self,
+            )

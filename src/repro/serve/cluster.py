@@ -46,6 +46,7 @@ import subprocess
 import sys
 import tempfile
 import time
+import warnings
 from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.kv.antientropy import AntiEntropyConfig
@@ -53,7 +54,7 @@ from repro.kv.ring import HashRing
 from repro.kv.store import KVRoutingError, KVUpdate
 from repro.net.transport import TransportStalled
 from repro.serve import frames
-from repro.serve.frames import Request, Response
+from repro.serve.frames import FrameError, Request, Response
 from repro.serve.replica import HOST, portfile_path
 
 #: Seconds between COUNTERS polls while settling a round.
@@ -222,6 +223,10 @@ class ProcessCluster:
         self._severed_total = 0
         self._memory_samples: List[float] = []
         self.metrics = _ProcMetrics(self)
+        #: Graceful SHUTDOWN requests that failed at teardown (peer
+        #: already dead or mid-exit); the SIGKILL/wait fallback below
+        #: still reaps the process, this only counts the misses.
+        self.shutdown_errors = 0
 
         self._closed = False
         try:
@@ -787,8 +792,14 @@ class ProcessCluster:
         for replica, control in list(self._controls.items()):
             try:
                 control.request(frames.SHUTDOWN)
-            except Exception:
-                pass
+            except (OSError, FrameError, RuntimeError):
+                # Expected at teardown: a SIGKILLed or already-exiting
+                # replica refuses the connection (OSError family),
+                # closes mid-frame (FrameError), or answers with an
+                # error status (RuntimeError).  The wait/kill fallback
+                # below reaps it regardless; count the miss so tests
+                # and post-mortems can see ungraceful shutdowns.
+                self.shutdown_errors += 1
             control.close()
         self._controls.clear()
         deadline = time.monotonic() + 5.0
@@ -812,5 +823,13 @@ class ProcessCluster:
     def __del__(self) -> None:  # pragma: no cover - defensive cleanup
         try:
             self.close()
-        except Exception:
-            pass
+        except (OSError, RuntimeError) as exc:
+            # A destructor must not raise; anything the narrowed
+            # handlers inside close() did not absorb (socket teardown,
+            # interpreter-shutdown state) is reported the way CPython
+            # reports unclosed resources rather than swallowed.
+            warnings.warn(
+                f"ProcessCluster.__del__: close failed: {exc!r}",
+                ResourceWarning,
+                source=self,
+            )

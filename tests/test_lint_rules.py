@@ -1,0 +1,483 @@
+"""Golden corpus for every lint rule: triggers and near-misses.
+
+Each rule gets at least one snippet that *must* produce a finding and
+one near-miss that *must* stay clean — the near-misses are the actual
+specification, since they pin where the rule stops.  Snippets are
+linted in-memory through :func:`load_module`, with virtual paths chosen
+to exercise path-scoped rules (``repro/sim/...`` is deterministic core,
+``repro/serve/...`` is not).
+"""
+
+import ast
+
+from repro.lint import ALL_RULES, run_rules
+from repro.lint.engine import Project, load_module
+from repro.lint.rules.determinism import in_deterministic_core
+
+
+def lint_sources(sources):
+    """Lint a {virtual path: source} mapping with the full rule set."""
+    project = Project(
+        modules=[load_module(path, text) for path, text in sources.items()]
+    )
+    return run_rules(project, ALL_RULES())
+
+
+def rules_hit(sources):
+    return sorted({f.rule for f in lint_sources(sources).findings})
+
+
+class TestDetRng:
+    def test_global_rng_call_triggers(self):
+        assert rules_hit(
+            {"anywhere.py": "import random\nx = random.choice([1, 2])\n"}
+        ) == ["det-rng"]
+
+    def test_from_import_alias_resolved(self):
+        assert rules_hit(
+            {"anywhere.py": "from random import shuffle as mix\nmix([1])\n"}
+        ) == ["det-rng"]
+
+    def test_unseeded_random_instance_triggers(self):
+        assert rules_hit(
+            {"anywhere.py": "import random\nrng = random.Random()\n"}
+        ) == ["det-rng"]
+
+    def test_seeded_stream_is_clean(self):
+        source = (
+            "import random\n"
+            "rng = random.Random(1234)\n"
+            "x = rng.choice([1, 2])\n"
+            "y = random.Random(seed=7)\n"
+        )
+        assert rules_hit({"anywhere.py": source}) == []
+
+
+class TestDetClock:
+    CLOCK = "import time\nnow = time.time()\n"
+
+    def test_wall_clock_in_core_triggers(self):
+        assert rules_hit({"src/repro/sim/runner.py": self.CLOCK}) == [
+            "det-clock"
+        ]
+
+    def test_same_code_outside_core_is_clean(self):
+        # The serving stack and hot-path timers are real-time by design.
+        assert rules_hit({"src/repro/serve/replica.py": self.CLOCK}) == []
+        assert rules_hit({"src/repro/net/tcp.py": self.CLOCK}) == []
+
+    def test_environ_read_in_core_triggers(self):
+        source = "import os\nmode = os.environ['MODE']\n"
+        assert rules_hit({"src/repro/kv/store.py": source}) == ["det-clock"]
+
+    def test_os_path_attribute_is_not_environ(self):
+        source = "import os\np = os.path.join('a', 'b')\n"
+        assert rules_hit({"src/repro/kv/store.py": source}) == []
+
+    def test_core_boundary_matches_the_documented_split(self):
+        assert in_deterministic_core("src/repro/net/sim.py")
+        assert in_deterministic_core("src/repro/net/transport.py")
+        assert not in_deterministic_core("src/repro/net/tcp.py")
+        assert not in_deterministic_core("src/repro/net/runtime.py")
+        assert not in_deterministic_core("src/repro/serve/cluster.py")
+
+
+class TestWireRegistry:
+    def test_kind_without_codec_entry_triggers(self):
+        source = (
+            'WIRE_KINDS = ("alpha", "beta")\n'
+            "_WIRE_CODECS = {\n"
+            '    "alpha": (1, 2),\n'
+            "}\n"
+        )
+        result = lint_sources({"codec.py": source})
+        (finding,) = result.findings
+        assert finding.rule == "wire-registry"
+        assert "'beta'" in finding.message
+
+    def test_codec_entry_without_kind_triggers(self):
+        source = (
+            'WIRE_KINDS = ("alpha",)\n'
+            '_WIRE_CODECS = {"alpha": (1, 2), "ghost": (3, 4)}\n'
+        )
+        result = lint_sources({"codec.py": source})
+        (finding,) = result.findings
+        assert "'ghost'" in finding.message
+
+    def test_non_pair_value_triggers(self):
+        source = (
+            'WIRE_KINDS = ("alpha",)\n_WIRE_CODECS = {"alpha": (1,)}\n'
+        )
+        assert rules_hit({"codec.py": source}) == ["wire-registry"]
+
+    def test_complete_table_is_clean(self):
+        source = (
+            'WIRE_KINDS = ("alpha", "beta")\n'
+            '_WIRE_CODECS = {"alpha": (1, 2), "beta": (3, 4)}\n'
+        )
+        assert rules_hit({"codec.py": source}) == []
+
+    def test_kinds_without_any_table_triggers(self):
+        assert rules_hit({"codec.py": 'WIRE_KINDS = ("alpha",)\n'}) == [
+            "wire-registry"
+        ]
+
+
+class TestVerbRegistry:
+    FRAMES = (
+        "GET = 1\nPUT = 2\n"
+        '_VERB_NAMES = {GET: "get", PUT: "put"}\n'
+    )
+
+    def test_undispatched_verb_triggers(self):
+        handler = (
+            "import frames\n"
+            "def handle(verb):\n"
+            "    if verb == frames.GET:\n"
+            "        return 'get'\n"
+        )
+        result = lint_sources(
+            {"frames.py": self.FRAMES, "replica.py": handler}
+        )
+        (finding,) = result.findings
+        assert finding.rule == "verb-registry"
+        assert "PUT" in finding.message
+
+    def test_fully_dispatched_verbs_are_clean(self):
+        handler = (
+            "import frames\n"
+            "def handle(verb):\n"
+            "    if verb == frames.GET:\n"
+            "        return 'get'\n"
+            "    if verb == frames.PUT:\n"
+            "        return 'put'\n"
+        )
+        assert (
+            rules_hit({"frames.py": self.FRAMES, "replica.py": handler})
+            == []
+        )
+
+    def test_rule_gated_off_without_any_dispatch_in_scan(self):
+        # Linting frames.py alone must not claim every verb is dead.
+        assert rules_hit({"frames.py": self.FRAMES}) == []
+
+
+class TestEventRegistry:
+    def test_uncatalogued_emit_triggers(self):
+        catalogue = 'EVENT_TYPES = ("send",)\n'
+        emitter = (
+            "def go(tracer, n):\n"
+            '    tracer.emit("send", bytes=n)\n'
+            '    tracer.emit("sned", bytes=n)\n'
+        )
+        result = lint_sources({"trace.py": catalogue, "t.py": emitter})
+        (finding,) = result.findings
+        assert finding.rule == "event-registry"
+        assert "'sned'" in finding.message
+
+    def test_orphan_catalogue_entry_triggers(self):
+        catalogue = 'EVENT_TYPES = ("send", "never-emitted")\n'
+        emitter = 'def go(tracer):\n    tracer.emit("send")\n'
+        result = lint_sources({"trace.py": catalogue, "t.py": emitter})
+        (finding,) = result.findings
+        assert "'never-emitted'" in finding.message
+
+    def test_complete_catalogue_is_clean(self):
+        catalogue = 'EVENT_TYPES = ("send", "deliver")\n'
+        emitter = (
+            "def go(tracer):\n"
+            '    tracer.emit("send")\n'
+            '    tracer.emit("deliver")\n'
+        )
+        assert rules_hit({"trace.py": catalogue, "t.py": emitter}) == []
+
+    def test_dynamic_emit_is_skipped(self):
+        # The WAL relay forwards emit(event_type, ...) — a variable
+        # first argument proves nothing and must not be flagged.
+        catalogue = 'EVENT_TYPES = ("send",)\n'
+        emitter = (
+            "def relay(tracer, event_type):\n"
+            '    tracer.emit("send")\n'
+            "    tracer.emit(event_type)\n"
+        )
+        assert rules_hit({"trace.py": catalogue, "t.py": emitter}) == []
+
+    def test_orphan_check_gated_without_emitting_side(self):
+        # Linting the catalogue module alone proves nothing about use.
+        assert (
+            rules_hit({"trace.py": 'EVENT_TYPES = ("send", "deliver")\n'})
+            == []
+        )
+
+    def test_entry_used_as_call_argument_is_not_orphan(self):
+        # wal-commit is never a literal .emit() but is passed to the
+        # observer callable; that counts as a reference.
+        catalogue = 'EVENT_TYPES = ("send", "wal-commit")\n'
+        emitter = (
+            "def go(tracer, observer):\n"
+            '    tracer.emit("send")\n'
+            '    observer("wal-commit", 3)\n'
+        )
+        assert rules_hit({"trace.py": catalogue, "t.py": emitter}) == []
+
+
+class TestTracePairing:
+    def test_unpaired_record_message_triggers(self):
+        source = (
+            "def transmit(self, message, payload, metadata):\n"
+            "    self.metrics.record_message(MessageRecord(\n"
+            "        payload_bytes=payload,\n"
+            "        metadata_bytes=metadata,\n"
+            "        payload_units=1,\n"
+            "        metadata_units=2,\n"
+            "    ))\n"
+        )
+        result = lint_sources({"transport.py": source})
+        (finding,) = result.findings
+        assert finding.rule == "trace-pairing"
+        assert "no" in finding.message
+
+    def test_mismatched_byte_expression_triggers(self):
+        source = (
+            "def transmit(self, message, payload, metadata):\n"
+            "    self.metrics.record_message(MessageRecord(\n"
+            "        payload_bytes=payload,\n"
+            "        metadata_bytes=metadata,\n"
+            "        payload_units=1,\n"
+            "        metadata_units=2,\n"
+            "    ))\n"
+            '    self.tracer.emit("send",\n'
+            "        payload_bytes=payload + 1,\n"
+            "        metadata_bytes=metadata,\n"
+            "        payload_units=1,\n"
+            "        metadata_units=2,\n"
+            "    )\n"
+        )
+        result = lint_sources({"transport.py": source})
+        (finding,) = result.findings
+        assert "payload_bytes" in finding.message
+
+    def test_identical_expressions_are_clean(self):
+        source = (
+            "def transmit(self, message, payload, metadata):\n"
+            "    self.metrics.record_message(MessageRecord(\n"
+            "        payload_bytes=payload,\n"
+            "        metadata_bytes=metadata,\n"
+            "        payload_units=size_units(message),\n"
+            "        metadata_units=2,\n"
+            "    ))\n"
+            '    self.tracer.emit("send",\n'
+            "        payload_bytes=payload,\n"
+            "        metadata_bytes=metadata,\n"
+            "        payload_units=size_units(message),\n"
+            "        metadata_units=2,\n"
+            "    )\n"
+        )
+        assert rules_hit({"transport.py": source}) == []
+
+    def test_forwarding_an_existing_record_is_out_of_scope(self):
+        # TeeCollector passes the record object along; it constructs
+        # nothing, so there is nothing to pair.
+        source = (
+            "def record_message(self, record):\n"
+            "    for sink in self.sinks:\n"
+            "        sink.record_message(record)\n"
+        )
+        assert rules_hit({"obs.py": source}) == []
+
+
+class TestFrozenMutation:
+    def test_mutation_outside_constructor_triggers(self):
+        source = (
+            "def poke(obj):\n"
+            "    object.__setattr__(obj, 'value', 3)\n"
+        )
+        assert rules_hit({"mod.py": source}) == ["frozen-mutation"]
+
+    def test_constructor_self_write_is_clean(self):
+        source = (
+            "class Frozen:\n"
+            "    def __init__(self, value):\n"
+            "        object.__setattr__(self, 'value', value)\n"
+            "    def __post_init__(self):\n"
+            "        object.__setattr__(self, 'extra', 1)\n"
+        )
+        assert rules_hit({"mod.py": source}) == []
+
+    def test_self_write_outside_constructor_triggers(self):
+        source = (
+            "class Frozen:\n"
+            "    def poke(self):\n"
+            "        object.__setattr__(self, 'value', 3)\n"
+        )
+        assert rules_hit({"mod.py": source}) == ["frozen-mutation"]
+
+    def test_fresh_new_instance_is_clean(self):
+        # The allocation idiom of MapLattice.join.
+        source = (
+            "class Lat:\n"
+            "    def join(self, other):\n"
+            "        merged = Lat.__new__(Lat)\n"
+            "        object.__setattr__(merged, 'entries', {})\n"
+            "        return merged\n"
+        )
+        assert rules_hit({"mod.py": source}) == []
+
+    def test_sanctioned_memo_needs_suppression(self):
+        source = (
+            "class Frozen:\n"
+            "    def size(self):\n"
+            "        # repro: lint-ok[frozen-mutation] memo of a pure function\n"
+            "        object.__setattr__(self, '_cache', 1)\n"
+            "        return 1\n"
+        )
+        result = lint_sources({"mod.py": source})
+        assert result.clean
+        assert [f.rule for f in result.suppressed] == ["frozen-mutation"]
+
+
+class TestAsyncBlocking:
+    def test_time_sleep_in_async_def_triggers(self):
+        source = (
+            "import time\n"
+            "async def pump(self):\n"
+            "    time.sleep(0.1)\n"
+        )
+        assert rules_hit({"tcp.py": source}) == ["async-blocking"]
+
+    def test_send_frame_in_async_def_triggers(self):
+        source = (
+            "async def answer(self, sock, frame):\n"
+            "    send_frame(sock, frame)\n"
+        )
+        assert rules_hit({"serve.py": source}) == ["async-blocking"]
+
+    def test_flock_in_nested_async_triggers(self):
+        source = (
+            "import fcntl\n"
+            "class T:\n"
+            "    async def lock(self, fh):\n"
+            "        fcntl.flock(fh, 2)\n"
+        )
+        assert rules_hit({"tcp.py": source}) == ["async-blocking"]
+
+    def test_await_asyncio_sleep_is_clean(self):
+        source = (
+            "import asyncio\n"
+            "async def pump(self):\n"
+            "    await asyncio.sleep(0.1)\n"
+        )
+        assert rules_hit({"tcp.py": source}) == []
+
+    def test_blocking_call_in_sync_def_is_clean(self):
+        # The controller-side frame protocol is synchronous on purpose.
+        source = (
+            "import time\n"
+            "def settle(self):\n"
+            "    time.sleep(0.1)\n"
+            "    send_frame(self.sock, b'x')\n"
+        )
+        assert rules_hit({"cluster.py": source}) == []
+
+
+class TestBroadExcept:
+    def test_silent_swallow_triggers(self):
+        source = (
+            "def close(self):\n"
+            "    try:\n"
+            "        self.sock.close()\n"
+            "    except Exception:\n"
+            "        pass\n"
+        )
+        assert rules_hit({"mod.py": source}) == ["broad-except"]
+
+    def test_bare_except_triggers(self):
+        source = (
+            "def close(self):\n"
+            "    try:\n"
+            "        self.sock.close()\n"
+            "    except:\n"
+            "        self.count = 0\n"
+        )
+        assert rules_hit({"mod.py": source}) == ["broad-except"]
+
+    def test_broad_member_of_tuple_triggers(self):
+        source = (
+            "def close(self):\n"
+            "    try:\n"
+            "        self.sock.close()\n"
+            "    except (ValueError, Exception):\n"
+            "        pass\n"
+        )
+        assert rules_hit({"mod.py": source}) == ["broad-except"]
+
+    def test_narrow_handler_is_clean(self):
+        source = (
+            "def close(self):\n"
+            "    try:\n"
+            "        self.sock.close()\n"
+            "    except OSError:\n"
+            "        pass\n"
+        )
+        assert rules_hit({"mod.py": source}) == []
+
+    def test_reraise_is_clean(self):
+        source = (
+            "def run(self):\n"
+            "    try:\n"
+            "        self.step()\n"
+            "    except Exception:\n"
+            "        self.failed = True\n"
+            "        raise\n"
+        )
+        assert rules_hit({"mod.py": source}) == []
+
+    def test_using_the_bound_exception_is_clean(self):
+        source = (
+            "def run(self):\n"
+            "    try:\n"
+            "        self.step()\n"
+            "    except Exception as exc:\n"
+            "        self.last_error = repr(exc)\n"
+        )
+        assert rules_hit({"mod.py": source}) == []
+
+    def test_recording_via_trace_or_warnings_is_clean(self):
+        source = (
+            "import warnings\n"
+            "def run(self):\n"
+            "    try:\n"
+            "        self.step()\n"
+            "    except Exception:\n"
+            "        self.tracer.emit('error')\n"
+            "    try:\n"
+            "        self.step()\n"
+            "    except Exception:\n"
+            "        warnings.warn('step failed', ResourceWarning)\n"
+        )
+        assert rules_hit({"mod.py": source}) == []
+
+
+class TestCorpusSanity:
+    def test_every_rule_has_trigger_and_near_miss_coverage(self):
+        # The corpus above must exercise the full registered rule set;
+        # a new rule without golden tests fails here by construction.
+        covered = {
+            "det-rng",
+            "det-clock",
+            "wire-registry",
+            "verb-registry",
+            "event-registry",
+            "trace-pairing",
+            "frozen-mutation",
+            "async-blocking",
+            "broad-except",
+        }
+        assert {rule.id for rule in ALL_RULES()} == covered
+
+    def test_rule_messages_parse_as_single_findings(self):
+        # Triggers must not cascade: one seeded defect, one finding.
+        result = lint_sources(
+            {"anywhere.py": "import random\nx = random.random()\n"}
+        )
+        assert len(result.findings) == 1
