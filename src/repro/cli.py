@@ -420,6 +420,33 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print the rule catalogue and exit",
     )
+    lint.add_argument(
+        "--profile",
+        choices=("full", "relaxed"),
+        default="full",
+        help=(
+            "rule profile: full (CI gate on src) or relaxed "
+            "(det-rng + broad-except, for tests/ and benchmarks/)"
+        ),
+    )
+    lint.add_argument(
+        "--stats",
+        action="store_true",
+        help=(
+            "append a per-rule findings/suppressions/baselined table "
+            "to the report (text and JSON)"
+        ),
+    )
+    lint.add_argument(
+        "--graph",
+        type=str,
+        default=None,
+        metavar="DOT",
+        help=(
+            "write the project call graph as GraphViz DOT to this "
+            "path (debug aid for the interprocedural rules)"
+        ),
+    )
 
     serve = commands.add_parser(
         "serve-replica",
@@ -526,26 +553,36 @@ def _run_lint(args: argparse.Namespace, stream) -> int:
     exits 0 so the gate can be introduced before the debt is paid.
     """
     from repro.lint import (
-        ALL_RULES,
         read_baseline,
         render_json,
         render_text,
         rule_catalogue,
+        rules_for_profile,
         run_rules,
         write_baseline,
     )
     from repro.lint.engine import load_project
 
     if args.list_rules:
+        from repro.lint import rule_aliases
+
         for rule_id, summary in sorted(rule_catalogue().items()):
             print(f"{rule_id}: {summary}", file=stream)
+        for alias, canonical in sorted(rule_aliases().items()):
+            print(f"{alias}: alias of {canonical}", file=stream)
         return 0
     try:
         project = load_project(args.paths)
     except FileNotFoundError as exc:
         print(f"repro lint: {exc}", file=sys.stderr)
         return 2
-    result = run_rules(project, ALL_RULES())
+    rules = rules_for_profile(args.profile)
+    result = run_rules(project, rules)
+    if args.graph:
+        from repro.lint.callgraph import project_analysis, render_dot
+
+        with open(args.graph, "w", encoding="utf-8") as handle:
+            handle.write(render_dot(project_analysis(project)) + "\n")
     if args.write_baseline:
         write_baseline(args.baseline, result.findings, project)
         print(
@@ -564,12 +601,18 @@ def _run_lint(args: argparse.Namespace, stream) -> int:
         return 2
     new, baselined, stale = baseline.split(result.findings, project)
     render = render_json if args.format == "json" else render_text
+    stats_rules = (
+        [rule.id for rule in rules] + ["parse-error", "suppression"]
+        if args.stats
+        else None
+    )
     print(
         render(
             result,
             baselined=baselined,
             stale_baseline=stale,
             new_findings=new,
+            stats_rules=stats_rules,
         ),
         file=stream,
     )

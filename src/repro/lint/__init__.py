@@ -33,25 +33,49 @@ from repro.lint.engine import (
     load_project,
     run_rules,
 )
-from repro.lint.report import render_json, render_text
-from repro.lint.rules import ALL_RULES, rule_catalogue
+from repro.lint.callgraph import (
+    CallGraph,
+    build_call_graph,
+    project_analysis,
+    render_dot,
+)
+from repro.lint.flow import Cfg, build_cfg, solve_forward
+from repro.lint.report import render_json, render_text, rule_stats
+from repro.lint.rules import (
+    ALL_RULES,
+    PROFILES,
+    rule_aliases,
+    rule_catalogue,
+    rules_for_profile,
+)
 
 __all__ = [
     "ALL_RULES",
     "Baseline",
+    "CallGraph",
+    "Cfg",
     "Finding",
     "LintResult",
     "Module",
+    "PROFILES",
     "Project",
     "Rule",
     "Suppression",
+    "build_call_graph",
+    "build_cfg",
     "finding_fingerprint",
     "lint_paths",
     "load_project",
+    "project_analysis",
     "read_baseline",
+    "render_dot",
     "render_json",
     "render_text",
+    "rule_aliases",
     "rule_catalogue",
+    "rule_stats",
+    "rules_for_profile",
     "run_rules",
+    "solve_forward",
     "write_baseline",
 ]

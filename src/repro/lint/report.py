@@ -2,13 +2,17 @@
 
 Both render the same partitioned view — new findings (the gate), then
 counts of baselined and suppressed ones, then stale baseline entries —
-so a CI log and a tooling consumer see the identical verdict.
+so a CI log and a tooling consumer see the identical verdict.  With
+``stats_rules`` (the ``--stats`` flag), both append a per-rule table of
+finding/suppression/baseline counts, with zero rows for every rule in
+the active profile so coverage — including the exact number of active
+reasoned suppressions per rule — is visible at a glance in the CI log.
 """
 
 from __future__ import annotations
 
 import json
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.lint.engine import Finding, LintResult
 
@@ -20,11 +24,59 @@ def _format_finding(finding: Finding) -> str:
     )
 
 
+def rule_stats(
+    result: LintResult,
+    baselined: Sequence[Finding],
+    findings: Sequence[Finding],
+    stats_rules: Sequence[str],
+) -> Dict[str, Dict[str, int]]:
+    """Per-rule counts over the pass: findings, suppressed, baselined.
+
+    Every rule in ``stats_rules`` gets a row (zero counts included);
+    rules that produced output without being listed (the engine's
+    ``parse-error``/``suppression``) get rows appended.
+    """
+    stats: Dict[str, Dict[str, int]] = {
+        rule: {"findings": 0, "suppressed": 0, "baselined": 0}
+        for rule in stats_rules
+    }
+
+    def bump(rule: str, bucket: str) -> None:
+        row = stats.setdefault(
+            rule, {"findings": 0, "suppressed": 0, "baselined": 0}
+        )
+        row[bucket] += 1
+
+    for finding in findings:
+        bump(finding.rule, "findings")
+    for finding in result.suppressed:
+        bump(finding.rule, "suppressed")
+    for finding in baselined:
+        bump(finding.rule, "baselined")
+    return stats
+
+
+def _stats_table(stats: Dict[str, Dict[str, int]]) -> List[str]:
+    width = max(len("rule"), *(len(rule) for rule in stats))
+    header = (
+        f"{'rule':<{width}}  findings  suppressed  baselined"
+    )
+    lines = ["", "per-rule stats:", header, "-" * len(header)]
+    for rule in sorted(stats):
+        row = stats[rule]
+        lines.append(
+            f"{rule:<{width}}  {row['findings']:>8}  "
+            f"{row['suppressed']:>10}  {row['baselined']:>9}"
+        )
+    return lines
+
+
 def render_text(
     result: LintResult,
     baselined: Sequence[Finding] = (),
     stale_baseline: Sequence[str] = (),
     new_findings: Optional[Sequence[Finding]] = None,
+    stats_rules: Optional[Sequence[str]] = None,
 ) -> str:
     """The terminal/CI report; one line per finding plus a summary."""
     findings = (
@@ -49,6 +101,12 @@ def render_text(
             f"{'ies' if len(stale_baseline) != 1 else 'y'} no longer "
             "match; refresh with --write-baseline"
         )
+    if stats_rules is not None:
+        lines.extend(
+            _stats_table(
+                rule_stats(result, baselined, findings, stats_rules)
+            )
+        )
     return "\n".join(lines)
 
 
@@ -57,6 +115,7 @@ def render_json(
     baselined: Sequence[Finding] = (),
     stale_baseline: Sequence[str] = (),
     new_findings: Optional[Sequence[Finding]] = None,
+    stats_rules: Optional[Sequence[str]] = None,
 ) -> str:
     """Stable-keyed JSON for tooling; findings sorted like the text."""
     findings = (
@@ -85,4 +144,8 @@ def render_json(
             "suppressed": len(result.suppressed),
         },
     }
+    if stats_rules is not None:
+        payload["stats"] = rule_stats(
+            result, baselined, findings, stats_rules
+        )
     return json.dumps(payload, indent=2, sort_keys=True)

@@ -2,9 +2,17 @@
 
 Rules are instantiated fresh per pass (they are stateless, but the
 list is cheap and a future configurable rule may not be).  The ids
-here — plus the engine's own ``parse-error`` and ``suppression`` — are
-the valid targets of ``# repro: lint-ok[rule-id] reason`` comments and
-the keys of baseline entries.
+here — plus the engine's own ``parse-error`` and ``suppression``, plus
+any :attr:`~repro.lint.engine.Rule.aliases` — are the valid targets of
+``# repro: lint-ok[rule-id] reason`` comments and the keys of baseline
+entries.
+
+Two profiles exist: ``full`` (the CI gate on ``src``) and ``relaxed``
+for ``tests/`` and ``benchmarks/`` — there only seeded-RNG discipline
+and broad-except hygiene apply, because test harnesses legitimately
+touch wall clocks, spawn subprocesses from sync code, and poke frozen
+objects, but an unseeded ``random.Random()`` in a test still silently
+breaks every seed-reproducibility claim the suite makes.
 """
 
 from __future__ import annotations
@@ -14,7 +22,12 @@ from typing import Dict, List
 from repro.lint.engine import Rule
 from repro.lint.rules.determinism import GlobalRngRule, WallClockRule
 from repro.lint.rules.frozen import FrozenMutationRule
-from repro.lint.rules.hygiene import AsyncBlockingRule, BroadExceptRule
+from repro.lint.rules.hygiene import BroadExceptRule
+from repro.lint.rules.interproc import (
+    DetTaintRule,
+    ResourceTypestateRule,
+    TransitiveBlockingRule,
+)
 from repro.lint.rules.pairing import TracePairingRule
 from repro.lint.rules.registries import (
     EventRegistryRule,
@@ -25,19 +38,48 @@ from repro.lint.rules.registries import (
 RULE_CLASSES = (
     GlobalRngRule,
     WallClockRule,
+    DetTaintRule,
     WireRegistryRule,
     VerbRegistryRule,
     EventRegistryRule,
     TracePairingRule,
     FrozenMutationRule,
-    AsyncBlockingRule,
+    TransitiveBlockingRule,
+    ResourceTypestateRule,
     BroadExceptRule,
 )
+
+#: Rule sets by profile name.  ``relaxed`` gates tests/benchmarks.
+PROFILES = {
+    "full": RULE_CLASSES,
+    "relaxed": (GlobalRngRule, BroadExceptRule),
+}
 
 
 def ALL_RULES() -> List[Rule]:
     """A fresh instance of every rule, in catalogue order."""
     return [rule_class() for rule_class in RULE_CLASSES]
+
+
+def rules_for_profile(profile: str = "full") -> List[Rule]:
+    """Fresh rule instances for one profile; raises on unknown names."""
+    try:
+        classes = PROFILES[profile]
+    except KeyError:
+        raise ValueError(
+            f"unknown lint profile {profile!r}; "
+            f"choose from {', '.join(sorted(PROFILES))}"
+        ) from None
+    return [rule_class() for rule_class in classes]
+
+
+def rule_aliases() -> Dict[str, str]:
+    """retired id → canonical id, across the full catalogue."""
+    return {
+        alias: rule_class.id
+        for rule_class in RULE_CLASSES
+        for alias in rule_class.aliases
+    }
 
 
 def rule_catalogue() -> Dict[str, str]:

@@ -1,15 +1,14 @@
-"""Async and exception hygiene.
+"""Exception hygiene, plus the blocking-call surface shared with the
+interprocedural rules.
 
-``async-blocking``
-    A blocking call inside ``async def`` stalls the whole event loop:
-    on the TCP transport that freezes every peer connection at once
-    and surfaces later as a ``TransportStalled`` with a misleading
-    culprit.  The rule bans the known-blocking surface this codebase
-    actually has at hand — ``time.sleep``, advisory file locks, the
-    synchronous ``serve.frames`` ``send_frame``/``recv_frame`` helpers
-    (the controller-side protocol; the async planes must use stream
-    readers/writers), blocking socket constructors and ``sendall``,
-    and subprocess waits — anywhere under an ``async def``.
+The direct-call ``async-blocking`` rule PR 9 shipped lives on only as
+the :data:`BLOCKING_CALLS`/:data:`BLOCKING_CALLEE_NAMES` tables below
+and as an *alias* of
+:class:`repro.lint.rules.interproc.TransitiveBlockingRule`, which
+subsumes it: the blocking effect now propagates through the call
+graph, so wrapping ``flock`` in a helper no longer hides it from the
+gate.  Suppressions written against ``async-blocking`` keep working
+through the alias.
 
 ``broad-except``
     ``except Exception`` (or broader) that silently swallows is how a
@@ -27,7 +26,6 @@ import ast
 from typing import Iterator, Optional
 
 from repro.lint.engine import Finding, Project, Rule
-from repro.lint.rules.common import import_aliases, qualified_name
 
 #: Known-blocking callables by qualified name.
 BLOCKING_CALLS = frozenset(
@@ -55,42 +53,6 @@ BROAD_EXCEPTIONS = frozenset(("Exception", "BaseException"))
 #: Handler calls that count as "the failure was recorded somewhere a
 #: human or a metric will see it".
 REPORTING_ATTRS = frozenset(("emit", "inc", "warn", "warning", "exception"))
-
-
-class AsyncBlockingRule(Rule):
-    id = "async-blocking"
-    summary = (
-        "no blocking calls (time.sleep, flock, send_frame/recv_frame, "
-        "sendall, subprocess) inside async def"
-    )
-
-    def check(self, project: Project) -> Iterator[Finding]:
-        for module in project.modules:
-            aliases = import_aliases(module.tree)
-            for outer in ast.walk(module.tree):
-                if not isinstance(outer, ast.AsyncFunctionDef):
-                    continue
-                for node in ast.walk(outer):
-                    if not isinstance(node, ast.Call):
-                        continue
-                    name = qualified_name(node.func, aliases)
-                    callee = (
-                        node.func.attr
-                        if isinstance(node.func, ast.Attribute)
-                        else getattr(node.func, "id", None)
-                    )
-                    if name in BLOCKING_CALLS or (
-                        callee in BLOCKING_CALLEE_NAMES
-                    ):
-                        label = name or callee
-                        yield self.finding(
-                            module,
-                            node,
-                            f"blocking call {label}() inside async def "
-                            f"{outer.name}: it stalls the event loop and "
-                            "every peer connection with it; use the "
-                            "asyncio equivalent or move it off-loop",
-                        )
 
 
 def _is_broad(handler_type: Optional[ast.expr]) -> bool:

@@ -136,18 +136,27 @@ class FileStorage(Storage):
         path = os.path.join(self.root, LOCK_NAME)
         handle = open(path, "a+")
         try:
-            fcntl.flock(handle.fileno(), fcntl.LOCK_EX | fcntl.LOCK_NB)
-        except OSError:
+            try:
+                fcntl.flock(handle.fileno(), fcntl.LOCK_EX | fcntl.LOCK_NB)
+            except OSError:
+                handle.seek(0)
+                holder = handle.read().strip() or "unknown"
+                raise StorageLockError(
+                    f"WAL directory {self.root!r} is already locked by "
+                    f"pid {holder}"
+                ) from None
             handle.seek(0)
-            holder = handle.read().strip() or "unknown"
+            handle.truncate()
+            handle.write(str(os.getpid()))
+            handle.flush()
+        except BaseException:
+            # Any failure after the open — flock contention (rewritten
+            # to StorageLockError above), a holder read error, or a pid
+            # stamp failing on a full disk — must close the handle:
+            # closing drops the flock too, so a failed construction
+            # never strands the directory.
             handle.close()
-            raise StorageLockError(
-                f"WAL directory {self.root!r} is already locked by pid {holder}"
-            ) from None
-        handle.seek(0)
-        handle.truncate()
-        handle.write(str(os.getpid()))
-        handle.flush()
+            raise
         self._lock_handle = handle
 
     @property

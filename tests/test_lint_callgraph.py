@@ -1,0 +1,286 @@
+"""Units for the conservative call graph behind the interprocedural rules.
+
+The graph trades soundness-in-the-large for precision-in-the-small: it
+resolves what it can prove (module scope, import aliases, typed
+receivers, class hierarchies) and collapses everything else to the
+explicit ⊤ fallback instead of guessing.  These tests pin both halves —
+what resolves, and what deliberately does not.
+"""
+
+from repro.lint.callgraph import (
+    build_call_graph,
+    module_dotted,
+    project_analysis,
+    propagate_effect,
+    render_dot,
+    summarize_module,
+)
+from repro.lint.engine import Project, load_module
+
+
+def project_of(sources):
+    return Project(
+        modules=[load_module(path, text) for path, text in sources.items()]
+    )
+
+
+def graph_of(sources):
+    return build_call_graph(project_of(sources))
+
+
+def sites_of(graph, fn_id):
+    return graph.calls[fn_id]
+
+
+class TestModuleDotted:
+    def test_src_prefix_is_stripped(self):
+        assert module_dotted("src/repro/kv/store.py") == "repro.kv.store"
+
+    def test_package_init_names_the_package(self):
+        assert module_dotted("src/repro/wal/__init__.py") == "repro.wal"
+
+    def test_fixture_paths_work_without_src(self):
+        assert module_dotted("pkg/mod.py") == "pkg.mod"
+
+
+class TestIntraModuleResolution:
+    def test_toplevel_call_resolves(self):
+        graph = graph_of(
+            {
+                "pkg/a.py": (
+                    "def callee():\n    return 1\n"
+                    "def caller():\n    return callee()\n"
+                )
+            }
+        )
+        (site,) = sites_of(graph, "pkg.a.caller")
+        assert site.targets == ("pkg.a.callee",)
+        assert not site.unknown
+
+    def test_module_scope_shadows_suffix_matches(self):
+        # Both modules define ``helper``; each caller binds its own.
+        graph = graph_of(
+            {
+                "pkg/a.py": (
+                    "def helper():\n    return 'a'\n"
+                    "def caller():\n    return helper()\n"
+                ),
+                "pkg/b.py": "def helper():\n    return 'b'\n",
+            }
+        )
+        (site,) = sites_of(graph, "pkg.a.caller")
+        assert site.targets == ("pkg.a.helper",)
+
+    def test_self_method_call_resolves(self):
+        graph = graph_of(
+            {
+                "pkg/a.py": (
+                    "class Box:\n"
+                    "    def get(self):\n"
+                    "        return 1\n"
+                    "    def peek(self):\n"
+                    "        return self.get()\n"
+                )
+            }
+        )
+        (site,) = sites_of(graph, "pkg.a.Box.peek")
+        assert site.targets == ("pkg.a.Box.get",)
+
+    def test_unimported_bare_name_is_external(self):
+        graph = graph_of(
+            {"pkg/a.py": "def caller():\n    return len([1])\n"}
+        )
+        (site,) = sites_of(graph, "pkg.a.caller")
+        assert site.targets == ()
+        assert site.external == "len"
+        assert not site.unknown
+
+
+class TestCrossModuleResolution:
+    def test_from_import_call(self):
+        graph = graph_of(
+            {
+                "pkg/b.py": "def helper():\n    return 1\n",
+                "pkg/a.py": (
+                    "from pkg.b import helper\n"
+                    "def caller():\n    return helper()\n"
+                ),
+            }
+        )
+        (site,) = sites_of(graph, "pkg.a.caller")
+        assert site.targets == ("pkg.b.helper",)
+
+    def test_module_attribute_call(self):
+        graph = graph_of(
+            {
+                "pkg/b.py": "def helper():\n    return 1\n",
+                "pkg/a.py": (
+                    "import pkg.b as b\n"
+                    "def caller():\n    return b.helper()\n"
+                ),
+            }
+        )
+        (site,) = sites_of(graph, "pkg.a.caller")
+        assert site.targets == ("pkg.b.helper",)
+
+    def test_package_reexport_is_chased(self):
+        # ``from pkg import helper`` where the package __init__ only
+        # re-exports it from the implementation module.
+        graph = graph_of(
+            {
+                "pkg/impl.py": "def helper():\n    return 1\n",
+                "pkg/__init__.py": "from pkg.impl import helper\n",
+                "app.py": (
+                    "from pkg import helper\n"
+                    "def caller():\n    return helper()\n"
+                ),
+            }
+        )
+        (site,) = sites_of(graph, "app.caller")
+        assert site.targets == ("pkg.impl.helper",)
+
+    def test_constructed_receiver_method_call(self):
+        graph = graph_of(
+            {
+                "pkg/b.py": (
+                    "class Store:\n"
+                    "    def close(self):\n"
+                    "        return None\n"
+                ),
+                "pkg/a.py": (
+                    "from pkg.b import Store\n"
+                    "def caller():\n"
+                    "    store = Store()\n"
+                    "    store.close()\n"
+                ),
+            }
+        )
+        close_sites = [
+            s
+            for s in sites_of(graph, "pkg.a.caller")
+            if s.callee_name == "close"
+        ]
+        assert close_sites[0].targets == ("pkg.b.Store.close",)
+
+
+class TestDynamicDispatch:
+    def test_untyped_receiver_is_top(self):
+        graph = graph_of(
+            {"pkg/a.py": "def caller(x):\n    return x.frobnicate()\n"}
+        )
+        (site,) = sites_of(graph, "pkg.a.caller")
+        assert site.unknown
+        assert site.targets == ()
+
+    def test_override_widens_to_may_call(self):
+        # Dispatch through a base-typed receiver may land on any
+        # project subclass override.
+        graph = graph_of(
+            {
+                "pkg/a.py": (
+                    "class Base:\n"
+                    "    def run(self):\n"
+                    "        return 0\n"
+                    "class Derived(Base):\n"
+                    "    def run(self):\n"
+                    "        return 1\n"
+                    "def caller(obj: Base):\n"
+                    "    return obj.run()\n"
+                )
+            }
+        )
+        (site,) = sites_of(graph, "pkg.a.caller")
+        assert set(site.targets) == {"pkg.a.Base.run", "pkg.a.Derived.run"}
+
+    def test_top_site_does_not_propagate_effects(self):
+        graph = graph_of(
+            {
+                "pkg/a.py": (
+                    "def seed():\n    return 1\n"
+                    "def caller(x):\n    return x.anything()\n"
+                )
+            }
+        )
+        effected, _ = propagate_effect(graph, {"pkg.a.seed"})
+        assert effected == {"pkg.a.seed"}
+
+
+class TestCyclesAndPropagation:
+    def test_mutual_recursion_is_one_scc(self):
+        graph = graph_of(
+            {
+                "pkg/a.py": (
+                    "def even(n):\n    return n == 0 or odd(n - 1)\n"
+                    "def odd(n):\n    return n != 0 and even(n - 1)\n"
+                )
+            }
+        )
+        (scc,) = [s for s in graph.sccs if len(s) > 1]
+        assert set(scc) == {"pkg.a.even", "pkg.a.odd"}
+
+    def test_sccs_are_callees_first(self):
+        graph = graph_of(
+            {
+                "pkg/a.py": (
+                    "def c():\n    return 1\n"
+                    "def b():\n    return c()\n"
+                    "def a():\n    return b()\n"
+                )
+            }
+        )
+        order = [fn for scc in graph.sccs for fn in scc]
+        assert order.index("pkg.a.c") < order.index("pkg.a.b")
+        assert order.index("pkg.a.b") < order.index("pkg.a.a")
+
+    def test_effect_crosses_a_cycle_and_terminates(self):
+        graph = graph_of(
+            {
+                "pkg/a.py": (
+                    "def sink():\n    return 1\n"
+                    "def ping(n):\n    return pong(n) + sink()\n"
+                    "def pong(n):\n    return ping(n)\n"
+                    "def entry():\n    return ping(3)\n"
+                )
+            }
+        )
+        effected, witness = propagate_effect(graph, {"pkg.a.sink"})
+        assert effected == {
+            "pkg.a.sink",
+            "pkg.a.ping",
+            "pkg.a.pong",
+            "pkg.a.entry",
+        }
+        # Witnesses let a rule rebuild the chain down to the seed.
+        chain = ["pkg.a.entry"]
+        while chain[-1] in witness:
+            chain.append(witness[chain[-1]][1])
+        assert chain[-1] == "pkg.a.sink"
+
+
+class TestCachingAndExport:
+    def test_module_summaries_are_content_cached(self):
+        module = load_module("pkg/a.py", "def f():\n    return 1\n")
+        assert summarize_module(module) is summarize_module(module)
+
+    def test_project_analysis_is_memoized_per_project(self):
+        project = project_of(
+            {"pkg/a.py": "def f():\n    return 1\n"}
+        )
+        assert project_analysis(project) is project_analysis(project)
+
+    def test_dot_export_lists_nodes_and_edges(self):
+        graph = graph_of(
+            {
+                "pkg/a.py": (
+                    "def callee():\n    return 1\n"
+                    "def caller(x):\n"
+                    "    x.unresolved()\n"
+                    "    return callee()\n"
+                )
+            }
+        )
+        dot = render_dot(graph)
+        assert dot.startswith("digraph")
+        assert '"pkg.a.caller" -> "pkg.a.callee";' in dot
+        # The ⊤ count is part of the artifact: blind spots stay visible.
+        assert "⊤" in dot

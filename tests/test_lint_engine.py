@@ -322,15 +322,18 @@ class TestCli:
         for rule_id in (
             "det-rng",
             "det-clock",
+            "det-taint",
             "wire-registry",
             "verb-registry",
             "event-registry",
             "trace-pairing",
             "frozen-mutation",
-            "async-blocking",
+            "async-blocking-transitive",
+            "resource-typestate",
             "broad-except",
         ):
             assert rule_id in out
+        assert "async-blocking: alias of async-blocking-transitive" in out
 
     def test_missing_path_is_usage_error(self, capsys):
         assert main(["lint", "no/such/tree"]) == 2
@@ -342,6 +345,117 @@ class TestCli:
         assert (
             main(["lint", str(tmp_path), "--baseline", str(bad)]) == 2
         )
+
+
+#: A snippet whose only finding is interprocedural: an ``async def``
+#: body that blocks the event loop (the chain of length one).
+ASYNC_VIOLATION = "import time\n\nasync def handler():\n    time.sleep(1)\n"
+
+
+class TestProfilesStatsGraph:
+    """PR 10 CLI surface: ``--profile``, ``--stats``, ``--graph``."""
+
+    def test_relaxed_profile_skips_interprocedural_rules(self, tmp_path):
+        (tmp_path / "mod.py").write_text(ASYNC_VIOLATION)
+        assert main(["lint", str(tmp_path)]) == 1
+        assert main(["lint", str(tmp_path), "--profile", "relaxed"]) == 0
+
+    def test_relaxed_profile_still_guards_rng(self, tmp_path):
+        (tmp_path / "mod.py").write_text(VIOLATION)
+        assert main(["lint", str(tmp_path), "--profile", "relaxed"]) == 1
+
+    def test_stats_table_in_text_output(self, tmp_path, capsys):
+        (tmp_path / "mod.py").write_text(VIOLATION)
+        (tmp_path / "ok.py").write_text(
+            "import random\n"
+            "y = random.random()  # repro: lint-ok[det-rng] fixture\n"
+        )
+        main(["lint", str(tmp_path), "--stats"])
+        out = capsys.readouterr().out
+        assert "rule" in out and "findings" in out and "suppressed" in out
+        # det-rng: one live finding, one active suppression.
+        (line,) = [l for l in out.splitlines() if l.strip().startswith("det-rng")]
+        assert line.split()[1:3] == ["1", "1"]
+        # Zero rows are present too: every active rule is accounted for.
+        assert any(
+            l.strip().startswith("broad-except") for l in out.splitlines()
+        )
+
+    def test_stats_key_in_json_output(self, tmp_path, capsys):
+        (tmp_path / "mod.py").write_text(VIOLATION)
+        main(["lint", str(tmp_path), "--stats", "--format", "json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["stats"]["det-rng"]["findings"] == 1
+        assert payload["stats"]["det-rng"]["suppressed"] == 0
+        assert "broad-except" in payload["stats"]
+
+    def test_no_stats_flag_no_stats_key(self, tmp_path, capsys):
+        (tmp_path / "mod.py").write_text("x = 1\n")
+        main(["lint", str(tmp_path), "--format", "json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert "stats" not in payload
+
+    def test_graph_exports_dot(self, tmp_path, capsys):
+        (tmp_path / "mod.py").write_text(
+            "def callee():\n    return 1\n\ndef caller():\n    return callee()\n"
+        )
+        dot = tmp_path / "graph.dot"
+        assert main(["lint", str(tmp_path), "--graph", str(dot)]) == 0
+        text = dot.read_text()
+        assert text.startswith("digraph")
+        assert "caller" in text and "callee" in text
+        assert "->" in text
+
+
+class TestRuleAliases:
+    """``async-blocking`` lives on as an alias of the transitive rule."""
+
+    def test_alias_suppression_shields_canonical_finding(self):
+        source = (
+            "import time\n"
+            "async def handler():\n"
+            "    # repro: lint-ok[async-blocking] fixture keeps old name\n"
+            "    time.sleep(1)\n"
+        )
+        result = lint_sources({"mod.py": source})
+        assert result.clean
+        assert [f.rule for f in result.suppressed] == [
+            "async-blocking-transitive"
+        ]
+
+    def test_canonical_suppression_still_works(self):
+        source = (
+            "import time\n"
+            "async def handler():\n"
+            "    # repro: lint-ok[async-blocking-transitive] fixture\n"
+            "    time.sleep(1)\n"
+        )
+        result = lint_sources({"mod.py": source})
+        assert result.clean
+
+    def test_malformed_alias_suppression_is_still_a_finding(self):
+        # A reason-less suppression is malformed whether it names the
+        # canonical id or the legacy alias: the alias migration must
+        # not launder bad grammar.
+        source = (
+            "import time\n"
+            "async def handler():\n"
+            "    # repro: lint-ok[async-blocking]\n"
+            "    time.sleep(1)\n"
+        )
+        result = lint_sources({"mod.py": source})
+        assert any(
+            f.rule == "suppression" and "no reason" in f.message
+            for f in result.findings
+        )
+
+    def test_alias_does_not_shield_other_rules(self):
+        source = (
+            "import random\n"
+            "x = random.random()  # repro: lint-ok[async-blocking] wrong rule\n"
+        )
+        result = lint_sources({"mod.py": source})
+        assert any(f.rule == "det-rng" for f in result.findings)
 
 
 class TestRepositoryStatus:
@@ -376,4 +490,9 @@ class TestRepositoryStatus:
             ("src/repro/lattice/map_lattice.py", "frozen-mutation"),
             ("src/repro/lattice/primitives.py", "frozen-mutation"),
             ("src/repro/lattice/set_lattice.py", "frozen-mutation"),
+            # PR 10 interprocedural rules: the serving stack touches
+            # real time and real locks by design, at exactly these
+            # two sanctioned sites.
+            ("src/repro/net/tcp.py", "det-taint"),
+            ("src/repro/serve/replica.py", "async-blocking-transitive"),
         ]

@@ -1,0 +1,352 @@
+"""Golden corpus for the PR 10 interprocedural rules.
+
+Same contract as ``test_lint_rules.py`` — every rule gets triggers
+*and* near-misses, and the near-misses are the real specification:
+they pin exactly where each analysis gives up (non-awaited coroutines,
+taint that never reaches the core, ownership transfers).  Virtual
+paths matter here: ``repro/sim/...`` is deterministic core,
+``repro/serve/...`` is not, and cross-module chains use separate
+entries in the source mapping.
+"""
+
+from repro.lint import ALL_RULES, run_rules
+from repro.lint.engine import Project, load_module
+
+
+def lint_sources(sources):
+    project = Project(
+        modules=[load_module(path, text) for path, text in sources.items()]
+    )
+    return run_rules(project, ALL_RULES())
+
+
+def rules_hit(sources):
+    return sorted({f.rule for f in lint_sources(sources).findings})
+
+
+def findings_for(sources, rule):
+    return [f for f in lint_sources(sources).findings if f.rule == rule]
+
+
+class TestTransitiveBlocking:
+    def test_one_hop_chain_triggers(self):
+        source = (
+            "import time\n"
+            "def settle():\n"
+            "    time.sleep(0.1)\n"
+            "async def pump():\n"
+            "    settle()\n"
+        )
+        (finding,) = findings_for({"repro/serve/app.py": source}, "async-blocking-transitive")
+        # The frontier is the async def's call site, chain spelled out.
+        assert finding.line == 5
+        assert "settle() -> time.sleep()" in finding.message
+
+    def test_two_hop_chain_triggers(self):
+        source = (
+            "import time\n"
+            "def nap():\n"
+            "    time.sleep(0.1)\n"
+            "def settle():\n"
+            "    nap()\n"
+            "async def pump():\n"
+            "    settle()\n"
+        )
+        (finding,) = findings_for({"repro/serve/app.py": source}, "async-blocking-transitive")
+        assert finding.line == 7
+        assert "settle() -> nap() -> time.sleep()" in finding.message
+
+    def test_cross_module_chain_triggers(self):
+        sources = {
+            "repro/serve/util.py": (
+                "import time\n"
+                "def settle():\n"
+                "    time.sleep(0.1)\n"
+            ),
+            "repro/serve/app.py": (
+                "from repro.serve.util import settle\n"
+                "async def pump():\n"
+                "    settle()\n"
+            ),
+        }
+        (finding,) = findings_for(sources, "async-blocking-transitive")
+        assert finding.path == "repro/serve/app.py"
+
+    def test_sync_only_chain_is_clean(self):
+        # No async frontier: blocking helpers called from sync code
+        # are the controller's synchronous protocol, by design.
+        source = (
+            "import time\n"
+            "def settle():\n"
+            "    time.sleep(0.1)\n"
+            "def drive():\n"
+            "    settle()\n"
+        )
+        assert rules_hit({"repro/serve/app.py": source}) == []
+
+    def test_unawaited_async_callee_is_clean(self):
+        # Calling an async function without awaiting it only builds
+        # the coroutine object — the blocking body does not run here.
+        source = (
+            "import time\n"
+            "async def slow():\n"
+            "    time.sleep(0.1)\n"
+            "async def pump():\n"
+            "    task = slow\n"
+            "    coro = slow()\n"
+            "    del coro\n"
+        )
+        findings = findings_for({"repro/serve/app.py": source}, "async-blocking-transitive")
+        # Only slow()'s own direct call site is flagged — pump is not.
+        assert [f.line for f in findings] == [3]
+
+    def test_awaited_async_callee_reports_at_its_own_site(self):
+        # The blocking async callee is itself the frontier; the awaiting
+        # caller is not double-reported.
+        source = (
+            "import time\n"
+            "async def slow():\n"
+            "    time.sleep(0.1)\n"
+            "async def pump():\n"
+            "    await slow()\n"
+        )
+        findings = findings_for({"repro/serve/app.py": source}, "async-blocking-transitive")
+        assert [f.line for f in findings] == [3]
+
+    def test_top_callee_does_not_propagate(self):
+        # The helper is reached only through an untyped receiver (⊤):
+        # the analysis must stay silent rather than guess.
+        source = (
+            "import time\n"
+            "def settle():\n"
+            "    time.sleep(0.1)\n"
+            "async def pump(obj):\n"
+            "    obj.settle()\n"
+        )
+        assert rules_hit({"repro/serve/app.py": source}) == []
+
+
+class TestDetTaint:
+    def test_tainted_argument_into_core_triggers(self):
+        sources = {
+            "repro/sim/engine.py": "def schedule(at):\n    return at\n",
+            "repro/serve/app.py": (
+                "import time\n"
+                "from repro.sim.engine import schedule\n"
+                "def drive():\n"
+                "    now = time.time()\n"
+                "    schedule(now)\n"
+            ),
+        }
+        (finding,) = findings_for(sources, "det-taint")
+        assert finding.path == "repro/serve/app.py"
+        assert "time.time" in finding.message
+        assert "schedule" in finding.message
+
+    def test_taint_through_helper_return_triggers(self):
+        # helper() -> time.time() taints every caller of helper: the
+        # interprocedural fixpoint, not a lexical match.
+        sources = {
+            "repro/sim/engine.py": "def schedule(at):\n    return at\n",
+            "repro/serve/app.py": (
+                "import time\n"
+                "from repro.sim.engine import schedule\n"
+                "def stamp():\n"
+                "    return time.time()\n"
+                "def drive():\n"
+                "    schedule(stamp())\n"
+            ),
+        }
+        (finding,) = findings_for(sources, "det-taint")
+        assert "time.time" in finding.message
+
+    def test_core_calling_tainted_helper_triggers(self):
+        sources = {
+            "repro/serve/util.py": (
+                "import time\n"
+                "def stamp():\n"
+                "    return time.time()\n"
+            ),
+            "repro/sim/engine.py": (
+                "from repro.serve.util import stamp\n"
+                "def tick():\n"
+                "    return stamp()\n"
+            ),
+        }
+        (finding,) = findings_for(sources, "det-taint")
+        assert finding.path == "repro/sim/engine.py"
+
+    def test_transparent_wrapper_does_not_launder(self):
+        sources = {
+            "repro/sim/engine.py": "def schedule(at):\n    return at\n",
+            "repro/serve/app.py": (
+                "import time\n"
+                "from repro.sim.engine import schedule\n"
+                "def drive():\n"
+                "    schedule(int(time.time()))\n"
+            ),
+        }
+        assert len(findings_for(sources, "det-taint")) == 1
+
+    def test_tainted_store_on_core_typed_object_triggers(self):
+        sources = {
+            "repro/sim/state.py": (
+                "class SimState:\n"
+                "    def __init__(self):\n"
+                "        self.now = 0\n"
+            ),
+            "repro/serve/app.py": (
+                "import time\n"
+                "from repro.sim.state import SimState\n"
+                "def drive():\n"
+                "    state = SimState()\n"
+                "    state.now = time.time()\n"
+            ),
+        }
+        (finding,) = findings_for(sources, "det-taint")
+        assert ".now" in finding.message
+        assert "SimState" in finding.message
+
+    def test_clean_argument_into_core_is_clean(self):
+        sources = {
+            "repro/sim/engine.py": "def schedule(at):\n    return at\n",
+            "repro/serve/app.py": (
+                "from repro.sim.engine import schedule\n"
+                "def drive(config):\n"
+                "    schedule(config.at)\n"
+            ),
+        }
+        assert rules_hit(sources) == []
+
+    def test_taint_that_stays_out_of_core_is_clean(self):
+        # Wall time flowing into serving-side logging is fine; only
+        # the core boundary is guarded.
+        sources = {
+            "repro/serve/app.py": (
+                "import time\n"
+                "def drive(log):\n"
+                "    now = time.time()\n"
+                "    log.emit(now)\n"
+            ),
+        }
+        assert rules_hit(sources) == []
+
+
+class TestResourceTypestate:
+    def test_exception_path_leak_triggers(self):
+        # close() exists on the happy path, but step() raising strands
+        # the handle — exactly the shape the CFG raise edges catch.
+        source = (
+            "def copy(step):\n"
+            "    handle = open('wal.log')\n"
+            "    step(handle)\n"
+            "    handle.close()\n"
+        )
+        (finding,) = findings_for({"repro/serve/app.py": source}, "resource-typestate")
+        assert finding.line == 2
+        assert "'handle'" in finding.message
+        assert "exception path" in finding.message
+
+    def test_finally_clean_is_clean(self):
+        source = (
+            "def copy(step):\n"
+            "    handle = open('wal.log')\n"
+            "    try:\n"
+            "        step(handle)\n"
+            "    finally:\n"
+            "        handle.close()\n"
+        )
+        assert rules_hit({"repro/serve/app.py": source}) == []
+
+    def test_with_block_is_exempt(self):
+        source = (
+            "def copy(step):\n"
+            "    with open('wal.log') as handle:\n"
+            "        step(handle)\n"
+        )
+        assert rules_hit({"repro/serve/app.py": source}) == []
+
+    def test_ownership_transfer_is_exempt(self):
+        # Acquire-and-stash: the close obligation moved to the object;
+        # the precondition (acquire AND release here) fails, silence.
+        source = (
+            "class Holder:\n"
+            "    def open_log(self):\n"
+            "        self.handle = open('wal.log')\n"
+        )
+        assert rules_hit({"repro/serve/app.py": source}) == []
+
+    def test_escape_into_collection_kills_tracking(self):
+        source = (
+            "def pool(step, handles):\n"
+            "    handle = open('wal.log')\n"
+            "    handles.append(handle)\n"
+            "    other = open('other.log')\n"
+            "    step(other)\n"
+            "    other.close()\n"
+        )
+        # 'handle' escaped into the pool (exempt); 'other' still leaks.
+        (finding,) = findings_for({"repro/serve/app.py": source}, "resource-typestate")
+        assert "'other'" in finding.message
+
+    def test_release_only_helper_is_exempt(self):
+        source = (
+            "def release(self):\n"
+            "    self.handle.close()\n"
+        )
+        assert rules_hit({"repro/serve/app.py": source}) == []
+
+    def test_flock_leak_on_exception_triggers(self):
+        source = (
+            "import fcntl\n"
+            "def guard(handle, step):\n"
+            "    fcntl.flock(handle, fcntl.LOCK_EX)\n"
+            "    step()\n"
+            "    fcntl.flock(handle, fcntl.LOCK_UN)\n"
+        )
+        (finding,) = findings_for({"repro/serve/app.py": source}, "resource-typestate")
+        assert "flock" in finding.message
+        assert "LOCK_UN" in finding.message
+
+    def test_flock_in_finally_is_clean(self):
+        source = (
+            "import fcntl\n"
+            "def guard(handle, step):\n"
+            "    fcntl.flock(handle, fcntl.LOCK_EX)\n"
+            "    try:\n"
+            "        step()\n"
+            "    finally:\n"
+            "        fcntl.flock(handle, fcntl.LOCK_UN)\n"
+        )
+        assert rules_hit({"repro/serve/app.py": source}) == []
+
+    def test_fence_unfence_pairing(self):
+        source = (
+            "def quiesce(self, step):\n"
+            "    self.bus.fence(self.epoch)\n"
+            "    step()\n"
+            "    self.bus.unfence(self.epoch)\n"
+        )
+        (finding,) = findings_for({"repro/serve/app.py": source}, "resource-typestate")
+        assert "unfence" in finding.message
+
+    def test_fence_in_finally_is_clean(self):
+        source = (
+            "def quiesce(self, step):\n"
+            "    self.bus.fence(self.epoch)\n"
+            "    try:\n"
+            "        step()\n"
+            "    finally:\n"
+            "        self.bus.unfence(self.epoch)\n"
+        )
+        assert rules_hit({"repro/serve/app.py": source}) == []
+
+    def test_loop_carried_acquire_is_exempt(self):
+        source = (
+            "def rotate(paths, step):\n"
+            "    for path in paths:\n"
+            "        handle = open(path)\n"
+            "        step(handle)\n"
+            "        handle.close()\n"
+        )
+        assert rules_hit({"repro/serve/app.py": source}) == []

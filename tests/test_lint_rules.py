@@ -337,20 +337,29 @@ class TestFrozenMutation:
 
 
 class TestAsyncBlocking:
+    """Direct-call corpus for the transitive rule's base case.
+
+    ``async-blocking`` grew into ``async-blocking-transitive`` in PR 10;
+    a blocking call written directly inside an ``async def`` is the
+    chain of length one, so the original golden corpus carries over
+    under the canonical id.  The multi-hop chains live in
+    ``test_lint_interproc.py``.
+    """
+
     def test_time_sleep_in_async_def_triggers(self):
         source = (
             "import time\n"
             "async def pump(self):\n"
             "    time.sleep(0.1)\n"
         )
-        assert rules_hit({"tcp.py": source}) == ["async-blocking"]
+        assert rules_hit({"tcp.py": source}) == ["async-blocking-transitive"]
 
     def test_send_frame_in_async_def_triggers(self):
         source = (
             "async def answer(self, sock, frame):\n"
             "    send_frame(sock, frame)\n"
         )
-        assert rules_hit({"serve.py": source}) == ["async-blocking"]
+        assert rules_hit({"serve.py": source}) == ["async-blocking-transitive"]
 
     def test_flock_in_nested_async_triggers(self):
         source = (
@@ -359,7 +368,7 @@ class TestAsyncBlocking:
             "    async def lock(self, fh):\n"
             "        fcntl.flock(fh, 2)\n"
         )
-        assert rules_hit({"tcp.py": source}) == ["async-blocking"]
+        assert rules_hit({"tcp.py": source}) == ["async-blocking-transitive"]
 
     def test_await_asyncio_sleep_is_clean(self):
         source = (
@@ -465,12 +474,14 @@ class TestCorpusSanity:
         covered = {
             "det-rng",
             "det-clock",
+            "det-taint",
             "wire-registry",
             "verb-registry",
             "event-registry",
             "trace-pairing",
             "frozen-mutation",
-            "async-blocking",
+            "async-blocking-transitive",
+            "resource-typestate",
             "broad-except",
         }
         assert {rule.id for rule in ALL_RULES()} == covered
